@@ -1,0 +1,10 @@
+"""Benchmark: regenerate paper Figure 4 (see repro.experiments.fig4)."""
+
+from repro.experiments import fig4
+
+from conftest import run_once
+
+
+def test_fig4(benchmark, profile):
+    result = run_once(benchmark, lambda: fig4.run(profile))
+    assert result.rows

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate paper Figure 5 (see repro.experiments.fig5)."""
+
+from repro.experiments import fig5
+
+from conftest import run_once
+
+
+def test_fig5(benchmark, profile):
+    result = run_once(benchmark, lambda: fig5.run(profile))
+    assert result.rows

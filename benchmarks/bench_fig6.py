@@ -1,0 +1,10 @@
+"""Benchmark: regenerate paper Figure 6 (see repro.experiments.fig6)."""
+
+from repro.experiments import fig6
+
+from conftest import run_once
+
+
+def test_fig6(benchmark, profile):
+    result = run_once(benchmark, lambda: fig6.run(profile))
+    assert result.rows

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate paper Figure 7 (see repro.experiments.fig7)."""
+
+from repro.experiments import fig7
+
+from conftest import run_once
+
+
+def test_fig7(benchmark, profile):
+    result = run_once(benchmark, lambda: fig7.run(profile))
+    assert result.rows

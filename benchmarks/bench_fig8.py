@@ -1,0 +1,10 @@
+"""Benchmark: regenerate paper Figure 8 (see repro.experiments.fig8)."""
+
+from repro.experiments import fig8
+
+from conftest import run_once
+
+
+def test_fig8(benchmark, profile):
+    result = run_once(benchmark, lambda: fig8.run(profile))
+    assert result.rows

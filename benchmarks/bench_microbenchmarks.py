@@ -1,0 +1,103 @@
+"""Micro-benchmarks of the substrate the SES stack runs on.
+
+These are genuine pytest-benchmark measurements (multiple rounds) of the
+hot inner loops: the autograd forward/backward of a GCN layer, the
+mask-generator pass, k-hop expansion, and negative sampling.  They guard
+against performance regressions in the from-scratch engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MaskGenerator
+from repro.datasets import cora_like
+from repro.graph import classification_split, khop_edge_index, sample_negative_sets
+from repro.nn import GCNConv, GATConv
+from repro.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def medium_graph():
+    graph = cora_like(num_nodes=400, seed=0)
+    classification_split(graph, seed=0)
+    return graph
+
+
+def test_gcn_forward_backward(benchmark, medium_graph):
+    graph = medium_graph
+    conv = GCNConv(graph.num_features, 64, rng=np.random.default_rng(0))
+    x = Tensor(graph.features)
+    edge_index = graph.edge_index()
+
+    def step():
+        out = conv(x, edge_index, graph.num_nodes)
+        out.sum().backward()
+        conv.zero_grad()
+
+    benchmark(step)
+
+
+def test_gat_forward_backward(benchmark, medium_graph):
+    graph = medium_graph
+    conv = GATConv(graph.num_features, 64, heads=2, rng=np.random.default_rng(0))
+    x = Tensor(graph.features)
+    edge_index = graph.edge_index()
+
+    def step():
+        out = conv(x, edge_index, graph.num_nodes)
+        out.sum().backward()
+        conv.zero_grad()
+
+    benchmark(step)
+
+
+def test_masked_gcn_forward_backward(benchmark, medium_graph):
+    graph = medium_graph
+    conv = GCNConv(graph.num_features, 64, rng=np.random.default_rng(0))
+    x = Tensor(graph.features)
+    edge_index = graph.edge_index()
+    weights = np.random.default_rng(0).random(edge_index.shape[1])
+
+    def step():
+        w = Tensor(weights, requires_grad=True)
+        out = conv(x, edge_index, graph.num_nodes, edge_weight=w)
+        out.sum().backward()
+        conv.zero_grad()
+
+    benchmark(step)
+
+
+def test_mask_generator_pass(benchmark, medium_graph):
+    graph = medium_graph
+    khop = khop_edge_index(graph, 2)
+    generator = MaskGenerator(64, graph.num_features, rng=np.random.default_rng(0))
+    hidden = Tensor(np.random.default_rng(1).normal(size=(graph.num_nodes, 64)))
+    negatives = khop[:, :: max(1, khop.shape[1] // 500)]
+
+    def step():
+        generator(hidden, khop, negatives)
+
+    benchmark(step)
+
+
+def test_khop_expansion(benchmark, medium_graph):
+    graph = medium_graph
+
+    def step():
+        graph._cache.pop(("khop", 2), None)
+        graph._cache.pop(("khop_edge_index", 2), None)
+        khop_edge_index(graph, 2)
+
+    benchmark(step)
+
+
+def test_negative_sampling(benchmark, medium_graph):
+    graph = medium_graph
+    rng = np.random.default_rng(0)
+
+    def step():
+        sample_negative_sets(graph, 2, rng, max_per_node=32)
+
+    benchmark(step)

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate paper Table 10 (see repro.experiments.table10)."""
+
+from repro.experiments import table10
+
+from conftest import run_once
+
+
+def test_table10(benchmark, profile):
+    result = run_once(benchmark, lambda: table10.run(profile))
+    assert result.rows

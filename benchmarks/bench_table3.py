@@ -1,0 +1,10 @@
+"""Benchmark: regenerate paper Table 3 (see repro.experiments.table3)."""
+
+from repro.experiments import table3
+
+from conftest import run_once
+
+
+def test_table3(benchmark, profile):
+    result = run_once(benchmark, lambda: table3.run(profile))
+    assert result.rows

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate paper Table 4 (see repro.experiments.table4)."""
+
+from repro.experiments import table4
+
+from conftest import run_once
+
+
+def test_table4(benchmark, profile):
+    result = run_once(benchmark, lambda: table4.run(profile))
+    assert result.rows

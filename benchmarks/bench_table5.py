@@ -1,0 +1,10 @@
+"""Benchmark: regenerate paper Table 5 (see repro.experiments.table5)."""
+
+from repro.experiments import table5
+
+from conftest import run_once
+
+
+def test_table5(benchmark, profile):
+    result = run_once(benchmark, lambda: table5.run(profile))
+    assert result.rows

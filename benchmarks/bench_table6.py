@@ -1,0 +1,10 @@
+"""Benchmark: regenerate paper Table 6 (see repro.experiments.table6)."""
+
+from repro.experiments import table6
+
+from conftest import run_once
+
+
+def test_table6(benchmark, profile):
+    result = run_once(benchmark, lambda: table6.run(profile))
+    assert result.rows

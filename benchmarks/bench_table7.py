@@ -1,0 +1,10 @@
+"""Benchmark: regenerate paper Table 7 (see repro.experiments.table7)."""
+
+from repro.experiments import table7
+
+from conftest import run_once
+
+
+def test_table7(benchmark, profile):
+    result = run_once(benchmark, lambda: table7.run(profile))
+    assert result.rows

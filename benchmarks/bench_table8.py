@@ -1,0 +1,10 @@
+"""Benchmark: regenerate paper Table 8 (see repro.experiments.table8)."""
+
+from repro.experiments import table8
+
+from conftest import run_once
+
+
+def test_table8(benchmark, profile):
+    result = run_once(benchmark, lambda: table8.run(profile))
+    assert result.rows

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate paper Table 9 (see repro.experiments.table9)."""
+
+from repro.experiments import table9
+
+from conftest import run_once
+
+
+def test_table9(benchmark, profile):
+    result = run_once(benchmark, lambda: table9.run(profile))
+    assert result.rows

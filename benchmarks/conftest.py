@@ -1,0 +1,30 @@
+"""Benchmark configuration.
+
+Each ``bench_*.py`` regenerates one paper table/figure through its
+:mod:`repro.experiments` harness and reports the wall-clock through
+pytest-benchmark.  Profiles come from ``REPRO_PROFILE`` (default ``quick``
+so the whole suite finishes in minutes; use ``standard``/``full`` to
+regenerate the EXPERIMENTS.md numbers).
+
+Every benchmark prints the reproduced table so ``pytest benchmarks/
+--benchmark-only -s`` doubles as the results generator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import get_profile
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return get_profile()
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under the benchmark timer and print it."""
+    result = benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    print(result)
+    return result

@@ -1,0 +1,85 @@
+"""Feature audit: which input features does the model actually rely on?
+
+The paper's Table 5 scenario — a practitioner wants to know whether the
+classifier keys on meaningful signals.  We train SES on a citation
+surrogate whose generative process we control (each class has known
+"topic word" columns), then check:
+
+1. does the learned feature mask M_f concentrate on each class's true
+   topic words? (precision of the top-ranked mask columns), and
+2. Fidelity+: how much accuracy is lost when the top-5 features per node
+   (per SES vs per GraphLIME) are removed.
+
+Usage: python examples/feature_audit.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import SESConfig, SESTrainer
+from repro.datasets import cora_like
+from repro.explainers import GraphLIME
+from repro.graph import classification_split
+from repro.metrics import fidelity_plus
+from repro.models import train_node_classifier
+
+WORDS_PER_CLASS = 25
+
+
+def main() -> None:
+    graph = cora_like(num_nodes=500, seed=0)
+    classification_split(graph, seed=0)
+    print(graph.summary())
+
+    config = SESConfig(
+        backbone="gcn", hidden_features=64, explainable_epochs=150,
+        predictive_epochs=15, dropout=0.3, seed=0,
+    )
+    trainer = SESTrainer(graph, config)
+    result = trainer.fit()
+    print(f"SES test accuracy: {result.test_accuracy:.3f}")
+
+    # --- 1. topic-word recovery -----------------------------------------
+    explanations = result.explanations
+    print("\ntopic-word recovery per class (top-10 masked features that are")
+    print("genuine topic words of the node's class):")
+    for cls in range(graph.num_classes):
+        members = np.flatnonzero((graph.labels == cls) & graph.test_mask)
+        if len(members) == 0:
+            continue
+        topic_columns = set(range(cls * WORDS_PER_CLASS, (cls + 1) * WORDS_PER_CLASS))
+        hits = []
+        for node in members[:40]:
+            top = np.argsort(-explanations.feature_explanation[node])[:10]
+            hits.append(len(topic_columns & set(top.tolist())) / 10)
+        print(f"  class {cls}: precision@10 = {np.mean(hits) * 100:5.1f}%")
+
+    # --- 2. Fidelity+ against GraphLIME ----------------------------------
+    rng = np.random.default_rng(0)
+    test_nodes = np.flatnonzero(graph.test_mask)
+    sample = rng.choice(test_nodes, size=min(40, len(test_nodes)), replace=False)
+    mask = np.zeros(graph.num_nodes, dtype=bool)
+    mask[sample] = True
+
+    ses_fidelity = fidelity_plus(
+        trainer.predict, graph.features, graph.labels,
+        explanations.feature_explanation, top_k=5, mask=mask,
+    )
+
+    classifier = train_node_classifier(graph, "gcn", hidden=64, epochs=150, seed=0)
+    lime = GraphLIME(classifier.model, graph, seed=0)
+    lime_importance = lime.feature_importance(sample)
+    lime_fidelity = fidelity_plus(
+        classifier.predict, graph.features, graph.labels,
+        lime_importance, top_k=5, mask=mask,
+    )
+
+    print(f"\nFidelity+ (accuracy drop after removing each node's top-5 features):")
+    print(f"  SES       : {ses_fidelity * 100:5.1f}%")
+    print(f"  GraphLIME : {lime_fidelity * 100:5.1f}%")
+    print("higher = the explanation points at features the model truly uses")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Graph classification with built-in explanations (SES-G extension).
+
+The paper studies node classification; its recipe extends naturally to
+whole-graph labels — the direction its conclusion hints at.  This example:
+
+1. generates a motif-presence benchmark (does the graph contain a house?),
+2. trains the self-explained graph classifier (one encoder over the
+   disjoint-union batch, sum pooling, edge-sensitivity accumulation), and
+3. prints, for a positive test graph, the edges the model says made it
+   positive — checked against the planted motif.
+
+Usage: python examples/graph_classification.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphlevel import GraphSES, motif_presence_dataset
+
+
+def main() -> None:
+    batch = motif_presence_dataset(num_graphs=60, base_nodes=14, motif="house", seed=0)
+    print(f"{batch.num_graphs} graphs, {batch.num_nodes} total nodes, "
+          f"{batch.edge_index.shape[1]} directed edges")
+
+    ses = GraphSES(batch, hidden=32, seed=0)
+    result = ses.fit(epochs=120)
+    print(f"train accuracy: {result.train_accuracy:.3f}")
+    print(f"test accuracy : {result.test_accuracy:.3f}")
+
+    ground_truth = batch.extra["gt_edges"]
+    positive_test = [g for g in ses.test_graphs if int(g) in ground_truth]
+    if not positive_test:
+        positive_test = list(ground_truth)
+    case = int(positive_test[0])
+    truth = ground_truth[case]
+    print(f"\nwhy is graph {case} positive? top edges by built-in sensitivity")
+    print("('*' marks a true planted-motif edge):")
+    for (u, v), score in result.explanations[case][:8]:
+        marker = "*" if (u, v) in truth else " "
+        print(f"  {u:4d} -> {v:4d}  {score:.3e} {marker}")
+
+    precisions = []
+    for graph_index, edges in ground_truth.items():
+        top = [edge for edge, _ in result.explanations[graph_index][:6]]
+        precisions.append(np.mean([edge in edges for edge in top]))
+    print(f"\nmean motif precision@6 over positive graphs: "
+          f"{np.mean(precisions) * 100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

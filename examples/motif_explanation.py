@@ -1,0 +1,84 @@
+"""Motif discovery: does the explainer find the planted "house" structures?
+
+This is the paper's synthetic-benchmark scenario (Table 4 / Fig. 6): a
+Barabási–Albert graph with attached house motifs, where the ground-truth
+explanation for a motif node is exactly the motif's edges.  We train SES
+and a GCN + GNNExplainer pipeline and compare:
+
+* explanation AUC against the ground-truth motif edges,
+* the time each method needs, and
+* a concrete case — the ranked edges around one motif node.
+
+Usage: python examples/motif_explanation.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import SESConfig, SESTrainer
+from repro.datasets import load_dataset
+from repro.explainers import GNNExplainer, evaluate_edge_auc, sample_motif_nodes
+from repro.graph import explanation_split
+from repro.models import train_node_classifier
+
+
+def main() -> None:
+    graph = load_dataset("ba_shapes", seed=0, scale=0.5)
+    explanation_split(graph, seed=0)
+    print(graph.summary())
+    motif_nodes = graph.extra["motif_nodes"]
+    rng = np.random.default_rng(0)
+    eval_nodes = sample_motif_nodes(graph, 16, rng)
+
+    # --- SES: explanations fall out of training -------------------------
+    start = time.perf_counter()
+    # Structural-role settings (see DESIGN.md §5): structure targets for the
+    # subgraph loss and the masked-loss sensitivity readout for E_sub.
+    config = SESConfig(
+        backbone="gcn", hidden_features=48, explainable_epochs=200,
+        predictive_epochs=10, dropout=0.1, learning_rate=0.01,
+        subgraph_target="structure", structure_explanation="sensitivity",
+        seed=0,
+    )
+    trainer = SESTrainer(graph, config)
+    trainer.train_explainable()
+    ses_scores = trainer.explanations().edge_scores()
+    ses_time = time.perf_counter() - start
+    ses_auc = evaluate_edge_auc(ses_scores, graph, eval_nodes)
+
+    # --- post-hoc: train GCN, then optimise per-node masks --------------
+    start = time.perf_counter()
+    classifier = train_node_classifier(graph, "gcn", hidden=48, epochs=150,
+                                       dropout=0.1, seed=0)
+    explainer = GNNExplainer(classifier.model, graph, epochs=100, seed=0)
+    gex_scores = explainer.edge_scores(eval_nodes)
+    gex_time = time.perf_counter() - start
+    gex_auc = evaluate_edge_auc(gex_scores, graph, eval_nodes)
+
+    print(f"\nSES          : AUC {ses_auc * 100:5.1f}%  "
+          f"({ses_time:.1f}s, explains every node)")
+    print(f"GNNExplainer : AUC {gex_auc * 100:5.1f}%  "
+          f"({gex_time:.1f}s for {len(eval_nodes)} nodes)")
+
+    # --- case study ------------------------------------------------------
+    case = int(eval_nodes[0])
+    gt = graph.extra["gt_edge_mask"]
+    print(f"\ntop-ranked edges around motif node {case} ('*' = true motif edge):")
+    for name, scores in (("SES", ses_scores), ("GNNExplainer", gex_scores)):
+        incident = sorted(
+            ((score, edge) for edge, score in scores.items()
+             if case in edge),
+            reverse=True,
+        )[:6]
+        rendering = "  ".join(
+            f"{u}->{v}{'*' if (u, v) in gt else ''}({score:.2f})"
+            for score, (u, v) in incident
+        )
+        print(f"  {name:>12}: {rendering}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Quickstart: train SES on a citation network and read its explanations.
+
+Runs in under a minute on a laptop CPU.  The pipeline:
+
+1. load a Cora-like citation graph (offline statistical surrogate),
+2. split it 60/20/20 as in the paper,
+3. run both SES phases (explainable training + enhanced predictive learning),
+4. print the test accuracy, and
+5. inspect the built-in explanations — no post-hoc explainer needed.
+
+Usage: python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import SESConfig, SESTrainer
+from repro.datasets import load_dataset
+from repro.graph import classification_split
+
+
+def main() -> None:
+    graph = load_dataset("cora", seed=0, scale=0.5)
+    classification_split(graph, seed=0)
+    print(graph.summary())
+
+    config = SESConfig(
+        backbone="gcn",
+        hidden_features=64,
+        explainable_epochs=120,
+        predictive_epochs=20,
+        dropout=0.3,
+        seed=0,
+    )
+    trainer = SESTrainer(graph, config)
+    result = trainer.fit()
+
+    print(f"\ntest accuracy: {result.test_accuracy:.3f}")
+    print(f"validation accuracy: {result.val_accuracy:.3f}")
+    print(f"explainable training: {result.timings['explainable']:.1f}s, "
+          f"predictive learning: {result.timings['predictive']:.1f}s")
+
+    # --- built-in explanations -----------------------------------------
+    explanations = result.explanations
+    probe = int(graph.degrees().argmax())  # the busiest node
+    print(f"\nexplaining node {probe} (class {graph.labels[probe]}, "
+          f"degree {int(graph.degrees()[probe])})")
+
+    print("  most important neighbours (structure mask M̂_s):")
+    for neighbor, weight in explanations.ranked_neighbors(probe)[:5]:
+        marker = "same class" if graph.labels[neighbor] == graph.labels[probe] else "other class"
+        print(f"    node {neighbor:4d}  weight {weight:.3f}  ({marker})")
+
+    print("  most important feature dimensions (feature mask M_f ⊙ X):")
+    for feature in explanations.top_features(probe, k=5):
+        print(f"    feature {feature:4d}  weight {explanations.feature_explanation[probe, feature]:.3f}")
+
+
+if __name__ == "__main__":
+    main()

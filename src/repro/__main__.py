@@ -1,0 +1,31 @@
+"""``python -m repro <experiment>`` — shortcut to the experiment CLI.
+
+Equivalent to ``python examples/run_experiments.py``; see
+:mod:`repro.experiments` for the available names.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import ALL_EXPERIMENTS, get_profile
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    parser.add_argument("experiment", choices=sorted(ALL_EXPERIMENTS) + ["all"])
+    parser.add_argument("--profile", default=None, choices=["quick", "standard", "full"])
+    args = parser.parse_args(argv)
+    profile = get_profile(args.profile)
+    names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.time()
+        print(ALL_EXPERIMENTS[name](profile))
+        print(f"[{name} in {time.time() - start:.0f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Mask-evolution diagnostics (Fig. 7).
+
+The paper visualises feature/structure mask weights at epochs 0, 150 and
+299, showing an initially uniform palette diverging into stable dark/light
+contrast.  We quantify the same phenomenon: per-snapshot dispersion and
+polarisation statistics, plus a coarse ASCII heatmap for the logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+_SHADES = " .:-=+*#%@"
+
+
+@dataclass
+class MaskSnapshotStats:
+    """Summary of one mask snapshot."""
+
+    epoch: int
+    mean: float
+    std: float
+    polarization: float
+    """Fraction of weights outside (0.25, 0.75) — the dark/light contrast."""
+
+    def row(self) -> Tuple:
+        return self.epoch, self.mean, self.std, self.polarization
+
+
+def snapshot_stats(epoch: int, mask: np.ndarray) -> MaskSnapshotStats:
+    """Dispersion statistics of a mask array."""
+    flat = np.asarray(mask, dtype=np.float64).ravel()
+    outside = float(((flat < 0.25) | (flat > 0.75)).mean())
+    return MaskSnapshotStats(
+        epoch=epoch, mean=float(flat.mean()), std=float(flat.std()), polarization=outside
+    )
+
+
+def summarize_snapshots(
+    snapshots: Dict[int, Tuple[np.ndarray, np.ndarray]]
+) -> Dict[str, Dict[int, MaskSnapshotStats]]:
+    """Stats per epoch for both the feature and the structure mask."""
+    feature_stats = {}
+    structure_stats = {}
+    for epoch in sorted(snapshots):
+        feature_mask, structure_mask = snapshots[epoch]
+        feature_stats[epoch] = snapshot_stats(epoch, feature_mask)
+        structure_stats[epoch] = snapshot_stats(epoch, structure_mask)
+    return {"feature": feature_stats, "structure": structure_stats}
+
+
+def ascii_heatmap(matrix: np.ndarray, max_rows: int = 20, max_cols: int = 60) -> str:
+    """Downsampled character rendering of a weight matrix in [0, 1]."""
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+    rows, cols = matrix.shape
+    row_step = max(1, rows // max_rows)
+    col_step = max(1, cols // max_cols)
+    pooled = matrix[::row_step, ::col_step]
+    lo, hi = pooled.min(), pooled.max()
+    span = (hi - lo) or 1.0
+    normalized = (pooled - lo) / span
+    indices = np.minimum((normalized * len(_SHADES)).astype(int), len(_SHADES) - 1)
+    return "\n".join("".join(_SHADES[i] for i in row) for row in indices)

@@ -1,0 +1,109 @@
+"""t-SNE (van der Maaten & Hinton, 2008) in numpy, for Fig. 5.
+
+Exact (non-Barnes-Hut) implementation with perplexity calibration via
+binary search and early exaggeration, adequate for the ≤ a few thousand
+embeddings the visualisation experiments project.  A PCA initialisation
+keeps runs deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def _pairwise_squared_distances(x: np.ndarray) -> np.ndarray:
+    squared = (x * x).sum(axis=1)
+    dist = squared[:, None] + squared[None, :] - 2.0 * (x @ x.T)
+    np.maximum(dist, 0.0, out=dist)
+    return dist
+
+
+def _calibrate_affinities(distances: np.ndarray, perplexity: float) -> np.ndarray:
+    """Row-wise Gaussian affinities with entropy matched to ``perplexity``."""
+    n = distances.shape[0]
+    target_entropy = np.log(perplexity)
+    affinities = np.zeros((n, n))
+    for i in range(n):
+        row = np.delete(distances[i], i)
+        low, high = 1e-20, 1e20
+        beta = 1.0
+        for _ in range(50):
+            weights = np.exp(-row * beta)
+            total = weights.sum()
+            if total <= 0:
+                probabilities = np.full(len(row), 1.0 / len(row))
+            else:
+                probabilities = weights / total
+            entropy = -(probabilities * np.log(probabilities + 1e-12)).sum()
+            if abs(entropy - target_entropy) < 1e-5:
+                break
+            if entropy > target_entropy:
+                low = beta
+                beta = beta * 2 if high >= 1e20 else (beta + high) / 2
+            else:
+                high = beta
+                beta = beta / 2 if low <= 1e-20 else (beta + low) / 2
+        affinities[i, np.arange(n) != i] = probabilities
+    return affinities
+
+
+def pca(x: np.ndarray, components: int = 2) -> np.ndarray:
+    """Principal component projection (used as t-SNE init and fallback)."""
+    centered = x - x.mean(axis=0)
+    _, _, vt = np.linalg.svd(centered, full_matrices=False)
+    return centered @ vt[:components].T
+
+
+def tsne(
+    embeddings: np.ndarray,
+    perplexity: float = 30.0,
+    iterations: int = 300,
+    learning_rate: float = 200.0,
+    seed: int = 0,
+    early_exaggeration: float = 12.0,
+    exaggeration_iters: int = 80,
+    max_points: Optional[int] = 2000,
+) -> np.ndarray:
+    """Project ``embeddings`` to 2-D.
+
+    Raises if more than ``max_points`` rows are supplied (exact t-SNE is
+    O(N²) per iteration); subsample upstream for larger inputs.
+    """
+    x = np.asarray(embeddings, dtype=np.float64)
+    n = x.shape[0]
+    if max_points is not None and n > max_points:
+        raise ValueError(f"{n} points exceed the exact-t-SNE cap of {max_points}")
+    perplexity = min(perplexity, max((n - 1) / 3.0, 2.0))
+    p = _calibrate_affinities(_pairwise_squared_distances(x), perplexity)
+    p = (p + p.T) / (2.0 * n)
+    np.maximum(p, 1e-12, out=p)
+
+    rng = np.random.default_rng(seed)
+    y = pca(x, 2)
+    scale = np.abs(y).max()
+    if scale > 0:
+        y = y / scale * 1e-2
+    y += rng.normal(scale=1e-4, size=y.shape)
+    velocity = np.zeros_like(y)
+    gains = np.ones_like(y)
+
+    for iteration in range(iterations):
+        exaggeration = early_exaggeration if iteration < exaggeration_iters else 1.0
+        dist = _pairwise_squared_distances(y)
+        q_num = 1.0 / (1.0 + dist)
+        np.fill_diagonal(q_num, 0.0)
+        q = q_num / q_num.sum()
+        np.maximum(q, 1e-12, out=q)
+        pq = (exaggeration * p - q) * q_num
+        gradient = 4.0 * ((np.diag(pq.sum(axis=1)) - pq) @ y)
+
+        momentum = 0.5 if iteration < 100 else 0.8
+        same_sign = np.sign(gradient) == np.sign(velocity)
+        gains = np.where(same_sign, gains * 0.8, gains + 0.2)
+        np.maximum(gains, 0.01, out=gains)
+        velocity = momentum * velocity - learning_rate * gains * gradient
+        y = y + velocity
+        y = y - y.mean(axis=0)
+    return y

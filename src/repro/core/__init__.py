@@ -1,0 +1,25 @@
+"""SES core: config, mask generator, losses, pair construction, trainer."""
+
+from .config import SESConfig, fast_config
+from .explanations import Explanations
+from .losses import explainable_training_loss, predictive_learning_loss, subgraph_loss
+from .mask_generator import MaskGenerator
+from .pairs import PairSets, construct_pairs, pooled_pair_indices
+from .ses import SESModel, SESResult, SESTrainer, TrainingHistory
+
+__all__ = [
+    "SESConfig",
+    "fast_config",
+    "MaskGenerator",
+    "subgraph_loss",
+    "explainable_training_loss",
+    "predictive_learning_loss",
+    "PairSets",
+    "construct_pairs",
+    "pooled_pair_indices",
+    "Explanations",
+    "SESModel",
+    "SESTrainer",
+    "SESResult",
+    "TrainingHistory",
+]

@@ -1,0 +1,580 @@
+"""SES: the Self-Explained and self-Supervised GNN (paper §4, Algorithm 2).
+
+Two phases over a shared :class:`~repro.nn.GraphEncoder`:
+
+1. **Explainable training** — the encoder and the
+   :class:`~repro.core.mask_generator.MaskGenerator` are optimised jointly
+   with ``alpha (L_sub + L_xent^m) + (1 - alpha) L_xent`` (Eq. 9), where
+   ``L_xent^m`` is the cross-entropy of the *masked* forward
+   ``Z_m = GE(M_f ⊙ X, M̂_s ⊙ A^(k))`` (Eq. 8) that keeps the masks
+   consistent with the encoder's aggregation.
+2. **Enhanced predictive learning** — masks are frozen, Algorithm 1 builds
+   positive/negative node sets from ``Â^(k) = M̂_s ⊙ A^(k)``, and the
+   encoder alone is refined with ``beta L_triplet + (1 - beta) L_xent``
+   (Eqs. 10–13) on the masked graph ``GE(M_f ⊙ X, M̂_s ⊙ A)``.
+
+Explanations (``E_feat``, ``E_sub``) are available as soon as phase 1 ends —
+phase 2 "does not affect the explainability of SES but refines its
+prediction accuracy" (paper §5.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph import (
+    Graph,
+    khop_edge_index,
+    negative_edge_index,
+    sample_negative_sets,
+    scatter_edge_values,
+)
+from ..metrics import accuracy, logits_to_predictions
+from ..nn import GraphEncoder
+from ..tensor import (
+    Adam,
+    Module,
+    Tensor,
+    as_tensor,
+    functional as F,
+    gather_rows,
+    no_grad,
+    segment_mean,
+    segment_sum,
+)
+from ..utils import Stopwatch, make_rng
+from .config import SESConfig
+from .explanations import Explanations
+from .losses import explainable_training_loss, predictive_learning_loss, subgraph_loss
+from .mask_generator import MaskGenerator
+from .pairs import PairSets, construct_pairs, pooled_pair_indices
+
+
+class SESModel(Module):
+    """Graph encoder + mask generator with shared parameters across phases."""
+
+    def __init__(
+        self,
+        num_features: int,
+        num_classes: int,
+        config: SESConfig,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or make_rng(config.seed)
+        self.config = config
+        self.encoder = GraphEncoder(
+            num_features,
+            config.hidden_features,
+            num_classes,
+            backbone=config.backbone,
+            dropout=config.dropout,
+            heads=config.heads,
+            representation_head=True,
+            rng=rng,
+        )
+        hidden_width = config.hidden_features
+        self.mask_generator = MaskGenerator(
+            hidden_width, num_features, mlp_hidden=config.mask_mlp_hidden, rng=rng
+        )
+
+    def encoder_parameters(self):
+        """Parameters ``theta_e`` updated in both phases."""
+        return self.encoder.parameters()
+
+    def mask_parameters(self):
+        """Parameters ``theta_m`` updated only during explainable training."""
+        return self.mask_generator.parameters()
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch records of both phases (drives Fig. 7)."""
+
+    phase1_loss: List[float] = field(default_factory=list)
+    phase1_val_accuracy: List[float] = field(default_factory=list)
+    phase2_loss: List[float] = field(default_factory=list)
+    phase2_val_accuracy: List[float] = field(default_factory=list)
+    mask_snapshots: Dict[int, Tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
+    """epoch → (M_f copy, M_s copy) captured during explainable training."""
+
+
+@dataclass
+class SESResult:
+    """Everything :meth:`SESTrainer.fit` produces."""
+
+    test_accuracy: float
+    val_accuracy: float
+    history: TrainingHistory
+    explanations: Explanations
+    timings: Dict[str, float]
+    logits: np.ndarray
+    hidden: np.ndarray
+    predictions: np.ndarray
+
+    @property
+    def inference_time(self) -> float:
+        """Time to produce explanations for all nodes (Table 6 convention:
+        for self-explainable GNNs this is the explainable-training time)."""
+        return self.timings.get("explainable", 0.0)
+
+    @property
+    def training_time(self) -> float:
+        """Total wall-clock of both phases plus pair construction."""
+        return sum(self.timings.values())
+
+
+class SESTrainer:
+    """Runs the full SES pipeline of Algorithm 2 on one graph."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: Optional[SESConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if graph.labels is None or graph.train_mask is None:
+            raise ValueError("SES requires labels and split masks on the graph")
+        self.graph = graph
+        self.config = config or SESConfig()
+        self.rng = rng or make_rng(self.config.seed)
+        self.model = SESModel(
+            graph.num_features, graph.num_classes, self.config, rng=self.rng
+        )
+        self.features = Tensor(graph.features)
+        self.edge_index = graph.edge_index()
+        self.num_nodes = graph.num_nodes
+        self.khop_edges = self._build_khop_edges()
+        self._negative_sets = sample_negative_sets(
+            graph,
+            self.config.k_hops,
+            self.rng,
+            max_per_node=self.config.max_negatives_per_node,
+        )
+        self.negative_pairs = negative_edge_index(self._negative_sets)
+        self._base_edge_positions = self._align_base_edges()
+        self.stopwatch = Stopwatch()
+        self.pairs: Optional[PairSets] = None
+        self._frozen_feature_mask: Optional[np.ndarray] = None
+        self._frozen_structure_values: Optional[np.ndarray] = None
+        self._best_val = -1.0
+        self._best_state: Optional[dict] = None
+        self._best_readout = "masked"
+        self._edge_sensitivity = np.zeros(self.khop_edges.shape[1])
+        self.history = TrainingHistory()
+
+    # ------------------------------------------------------------------
+    # Setup helpers
+    # ------------------------------------------------------------------
+    def _build_khop_edges(self) -> np.ndarray:
+        """``A^(k)`` edge list, optionally subsampled per destination node.
+
+        Edges of the base adjacency ``A`` are always kept (phase 2 needs
+        their mask values); only the strictly-longer-range k-hop pairs are
+        subject to the ``max_khop_per_node`` cap.
+        """
+        khop = khop_edge_index(self.graph, self.config.k_hops)
+        cap = self.config.max_khop_per_node
+        if cap <= 0:
+            return khop
+        base_keys = set(
+            (self.edge_index[0] * self.num_nodes + self.edge_index[1]).tolist()
+        )
+        keys = khop[0] * self.num_nodes + khop[1]
+        is_base = np.isin(keys, list(base_keys))
+        keep = is_base.copy()
+        order = self.rng.permutation(khop.shape[1])
+        counts = np.zeros(self.num_nodes, dtype=np.int64)
+        counts += np.bincount(khop[1][is_base], minlength=self.num_nodes)
+        for position in order:
+            if keep[position]:
+                continue
+            destination = khop[1][position]
+            if counts[destination] < cap:
+                keep[position] = True
+                counts[destination] += 1
+        kept = khop[:, keep]
+        # Keep the column ordering sorted so _align_base_edges can bisect.
+        sort = np.argsort(kept[0] * self.num_nodes + kept[1], kind="mergesort")
+        return kept[:, sort]
+
+    def _align_base_edges(self) -> np.ndarray:
+        """Position of every edge of ``A`` inside the k-hop edge list.
+
+        ``A ⊆ A^(k)`` for ``k >= 1``, so phase 2 can reuse the structure-mask
+        values learned on ``A^(k)`` for the edges of ``A`` (Eq. 10).
+        """
+        khop_keys = self.khop_edges[0] * self.num_nodes + self.khop_edges[1]
+        base_keys = self.edge_index[0] * self.num_nodes + self.edge_index[1]
+        positions = np.searchsorted(khop_keys, base_keys)
+        if not np.array_equal(khop_keys[positions], base_keys):
+            raise AssertionError("base adjacency is not contained in A^(k)")
+        return positions
+
+    def _resample_negatives(self) -> None:
+        self._negative_sets = sample_negative_sets(
+            self.graph,
+            self.config.k_hops,
+            self.rng,
+            max_per_node=self.config.max_negatives_per_node,
+        )
+        self.negative_pairs = negative_edge_index(self._negative_sets)
+
+    # ------------------------------------------------------------------
+    # Phase 1: explainable training
+    # ------------------------------------------------------------------
+    def train_explainable(
+        self,
+        epochs: Optional[int] = None,
+        snapshot_epochs: Tuple[int, ...] = (),
+        callback: Optional[Callable[[int, float], None]] = None,
+    ) -> TrainingHistory:
+        """Co-train encoder and mask generator (Algorithm 2, lines 2–6)."""
+        cfg = self.config
+        epochs = epochs if epochs is not None else cfg.explainable_epochs
+        params = list(self.model.encoder_parameters()) + list(self.model.mask_parameters())
+        optimizer = Adam(params, lr=cfg.learning_rate, weight_decay=cfg.weight_decay)
+        graph, model = self.graph, self.model
+        snapshot_set = set(snapshot_epochs)
+        with self.stopwatch.measure("explainable"):
+            for epoch in range(epochs):
+                if cfg.resample_negatives and epoch > 0:
+                    self._resample_negatives()
+                model.train()
+                optimizer.zero_grad()
+                hidden, representation, logits = model.encoder.forward_full(
+                    self.features, self.edge_index, self.num_nodes
+                )
+                scorer_input = (
+                    representation
+                    if cfg.structure_scorer_input == "representation"
+                    else hidden
+                )
+                feature_mask = model.mask_generator.feature_mask(hidden)
+                structure_mask = model.mask_generator.structure_mask(
+                    scorer_input, self.khop_edges
+                )
+                negative_mask = model.mask_generator.negative_mask(
+                    scorer_input, self.negative_pairs
+                )
+                plain_xent = F.cross_entropy(logits, graph.labels, mask=graph.train_mask)
+                sub_loss = subgraph_loss(
+                    structure_mask,
+                    negative_mask,
+                    self.khop_edges,
+                    self.negative_pairs,
+                    labels=graph.labels,
+                    train_mask=graph.train_mask,
+                    target_mode=cfg.subgraph_target,
+                )
+                masked_xent = None
+                probe = None
+                if cfg.use_masked_xent:
+                    masked_features = (
+                        self.features * feature_mask
+                        if cfg.use_feature_mask
+                        else self.features
+                    )
+                    # A zero additive probe exposes the per-edge sensitivity
+                    # of the masked loss (probe.grad = dL/dw_e) without
+                    # changing the forward pass; accumulated over the second
+                    # half of training it becomes the sensitivity component
+                    # of E_sub (config.structure_explanation).
+                    probe = Tensor(np.zeros(self.khop_edges.shape[1]), requires_grad=True)
+                    masked_logits = model.encoder(
+                        masked_features,
+                        self.khop_edges,
+                        self.num_nodes,
+                        edge_weight=structure_mask + probe,
+                    )
+                    masked_xent = F.cross_entropy(
+                        masked_logits, graph.labels, mask=graph.train_mask
+                    )
+                loss = explainable_training_loss(
+                    plain_xent, masked_xent, sub_loss, cfg.alpha,
+                    sub_loss_weight=cfg.sub_loss_weight,
+                )
+                loss.backward()
+                optimizer.step()
+                if probe is not None and probe.grad is not None and epoch >= epochs // 2:
+                    # Negative gradient: making this edge heavier lowers the
+                    # masked classification loss -> the edge is important.
+                    self._edge_sensitivity += np.maximum(-probe.grad, 0.0)
+
+                self.history.phase1_loss.append(loss.item())
+                if graph.val_mask is not None and graph.val_mask.any():
+                    self.history.phase1_val_accuracy.append(
+                        self._evaluate_plain(graph.val_mask)
+                    )
+                if epoch in snapshot_set:
+                    self.history.mask_snapshots[epoch] = (
+                        feature_mask.data.copy(),
+                        structure_mask.data.copy(),
+                    )
+                if callback is not None:
+                    callback(epoch, loss.item())
+        self._freeze_masks()
+        return self.history
+
+    def _freeze_masks(self) -> None:
+        """Extract the trained masks once; phase 2 treats them as constants."""
+        model = self.model
+        model.eval()
+        with no_grad():
+            hidden, representation, _ = model.encoder.forward_full(
+                self.features, self.edge_index, self.num_nodes
+            )
+            scorer_input = (
+                representation
+                if self.config.structure_scorer_input == "representation"
+                else hidden
+            )
+            feature_mask = model.mask_generator.feature_mask(hidden)
+            structure_mask = model.mask_generator.structure_mask(
+                scorer_input, self.khop_edges
+            )
+        self._frozen_feature_mask = feature_mask.data.copy()
+        self._frozen_structure_values = structure_mask.data.copy()
+
+    def set_external_masks(
+        self, feature_mask: np.ndarray, structure_values: np.ndarray
+    ) -> None:
+        """Inject masks from a post-hoc explainer (the ``+{epl}`` variants of
+        Table 10: GNNExplainer / PGExplainer masks feeding phase 2)."""
+        feature_mask = np.asarray(feature_mask, dtype=np.float64)
+        structure_values = np.asarray(structure_values, dtype=np.float64).ravel()
+        if feature_mask.shape != self.graph.features.shape:
+            raise ValueError(
+                f"feature mask shape {feature_mask.shape} != features "
+                f"{self.graph.features.shape}"
+            )
+        if structure_values.shape[0] != self.khop_edges.shape[1]:
+            raise ValueError(
+                f"{structure_values.shape[0]} structure values for "
+                f"{self.khop_edges.shape[1]} k-hop edges"
+            )
+        self._frozen_feature_mask = feature_mask
+        self._frozen_structure_values = structure_values
+
+    # ------------------------------------------------------------------
+    # Pair construction (Algorithm 1)
+    # ------------------------------------------------------------------
+    def build_pairs(self) -> PairSets:
+        """Construct positive/negative node sets from the frozen masks."""
+        if self._frozen_structure_values is None:
+            raise RuntimeError("run train_explainable() before build_pairs()")
+        with self.stopwatch.measure("pairs"):
+            weighted = scatter_edge_values(
+                self.khop_edges, self._frozen_structure_values, self.num_nodes
+            )
+            self.pairs = construct_pairs(
+                weighted, self._negative_sets, self.config.sample_ratio, self.rng
+            )
+        return self.pairs
+
+    # ------------------------------------------------------------------
+    # Phase 2: enhanced predictive learning
+    # ------------------------------------------------------------------
+    def _phase2_inputs(self) -> Tuple[Tensor, Optional[Tensor]]:
+        """Masked features and base-edge weights for Eq. 10 (as constants)."""
+        cfg = self.config
+        if cfg.use_feature_mask and self._frozen_feature_mask is not None:
+            features = Tensor(self.graph.features * self._frozen_feature_mask)
+        else:
+            features = self.features
+        edge_weight = None
+        if cfg.use_structure_mask and self._frozen_structure_values is not None:
+            values = self._frozen_structure_values[self._base_edge_positions]
+            # Soft application: a floor keeps imperfect mask weights from
+            # severing genuinely informative edges outright; the mask then
+            # re-ranks neighbours rather than deleting them (DESIGN.md §5).
+            values = cfg.mask_floor + (1.0 - cfg.mask_floor) * values
+            edge_weight = as_tensor(values)
+        return features, edge_weight
+
+    def train_predictive(
+        self,
+        epochs: Optional[int] = None,
+        callback: Optional[Callable[[int, float], None]] = None,
+    ) -> TrainingHistory:
+        """Refine the encoder with the triplet objective (Algorithm 2, 8–13)."""
+        cfg = self.config
+        epochs = epochs if epochs is not None else cfg.predictive_epochs
+        if self.pairs is None and cfg.use_triplet:
+            self.build_pairs()
+        optimizer = Adam(
+            self.model.encoder_parameters(),
+            lr=cfg.learning_rate * cfg.predictive_lr_scale,
+            weight_decay=cfg.weight_decay,
+        )
+        graph, model = self.graph, self.model
+        features, edge_weight = self._phase2_inputs()
+        if cfg.use_triplet:
+            anchors, pos_index, pos_segment, neg_index, neg_segment = pooled_pair_indices(
+                self.pairs, self.num_nodes
+            )
+            num_anchors = len(anchors)
+        with self.stopwatch.measure("predictive"):
+            for epoch in range(epochs):
+                model.train()
+                optimizer.zero_grad()
+                _, representation, logits = model.encoder.forward_full(
+                    features, self.edge_index, self.num_nodes, edge_weight=edge_weight
+                )
+                xent = None
+                if cfg.use_xent_in_phase2:
+                    xent = F.cross_entropy(logits, graph.labels, mask=graph.train_mask)
+                triplet = None
+                if cfg.use_triplet and num_anchors > 0:
+                    # Eq. 11: the triplet acts on the encoder's output
+                    # representation (128-d in the paper), not on logits.
+                    pool = segment_mean if cfg.triplet_pooling == "mean" else segment_sum
+                    positive = pool(gather_rows(representation, pos_index), pos_segment, num_anchors)
+                    negative = pool(gather_rows(representation, neg_index), neg_segment, num_anchors)
+                    anchor = gather_rows(representation, anchors)
+                    triplet = F.triplet_margin_loss(
+                        anchor, positive, negative, margin=cfg.margin
+                    )
+                loss = predictive_learning_loss(triplet, xent, cfg.beta)
+                loss.backward()
+                optimizer.step()
+
+                self.history.phase2_loss.append(loss.item())
+                if graph.val_mask is not None and graph.val_mask.any():
+                    masked_val = self._evaluate_masked(graph.val_mask)
+                    plain_val = self._evaluate_plain(graph.val_mask)
+                    self.history.phase2_val_accuracy.append(max(masked_val, plain_val))
+                    if cfg.keep_best and max(masked_val, plain_val) > self._best_val:
+                        self._best_val = max(masked_val, plain_val)
+                        self._best_state = model.state_dict()
+                        self._best_readout = (
+                            "masked" if masked_val >= plain_val else "plain"
+                        )
+                if callback is not None:
+                    callback(epoch, loss.item())
+        if cfg.keep_best and self._best_state is not None:
+            model.load_state_dict(self._best_state)
+        return self.history
+
+    # ------------------------------------------------------------------
+    # Evaluation & outputs
+    # ------------------------------------------------------------------
+    def _evaluate_plain(self, mask: np.ndarray) -> float:
+        logits = self._plain_logits()
+        return accuracy(logits_to_predictions(logits), self.graph.labels, mask=mask)
+
+    def _evaluate_masked(self, mask: np.ndarray) -> float:
+        logits = self._masked_logits()
+        return accuracy(logits_to_predictions(logits), self.graph.labels, mask=mask)
+
+    def _plain_logits(self, features: Optional[np.ndarray] = None) -> np.ndarray:
+        self.model.eval()
+        inputs = self.features if features is None else Tensor(np.asarray(features, dtype=np.float64))
+        with no_grad():
+            logits = self.model.encoder(inputs, self.edge_index, self.num_nodes)
+        return logits.data
+
+    def _masked_logits(self, features: Optional[np.ndarray] = None) -> np.ndarray:
+        """Phase-2 forward (Eq. 10) with optional feature override."""
+        self.model.eval()
+        masked_features, edge_weight = self._phase2_inputs()
+        if features is not None:
+            base = np.asarray(features, dtype=np.float64)
+            if self.config.use_feature_mask and self._frozen_feature_mask is not None:
+                base = base * self._frozen_feature_mask
+            masked_features = Tensor(base)
+        with no_grad():
+            logits = self.model.encoder(
+                masked_features, self.edge_index, self.num_nodes, edge_weight=edge_weight
+            )
+        return logits.data
+
+    def active_readout(self) -> str:
+        """Which forward pass produces final predictions (see config.readout)."""
+        if self.config.readout != "auto":
+            return self.config.readout
+        return self._best_readout
+
+    def final_logits(self, features: Optional[np.ndarray] = None) -> np.ndarray:
+        """Logits of the selected readout, optionally from perturbed features."""
+        if self.active_readout() == "plain":
+            return self._plain_logits(features)
+        return self._masked_logits(features)
+
+    def predict(self, features: Optional[np.ndarray] = None) -> np.ndarray:
+        """Predicted class per node; supports perturbed features for the
+        Fidelity+ protocol (Eq. 14)."""
+        return logits_to_predictions(self.final_logits(features))
+
+    def hidden_embeddings(self) -> np.ndarray:
+        """128-d output representations used for visualisation (Fig. 5)."""
+        self.model.eval()
+        masked_features, edge_weight = self._phase2_inputs()
+        with no_grad():
+            _, representation, _ = self.model.encoder.forward_full(
+                masked_features, self.edge_index, self.num_nodes, edge_weight=edge_weight
+            )
+        return representation.data
+
+    def _explanation_edge_values(self) -> np.ndarray:
+        """Edge importances per config.structure_explanation (see config)."""
+        mode = self.config.structure_explanation
+        mask_values = self._frozen_structure_values
+        sensitivity = self._edge_sensitivity
+        if mode == "mask" or sensitivity.max() <= 0:
+            return mask_values
+        ranks = np.argsort(np.argsort(sensitivity)).astype(np.float64)
+        normalized = ranks / max(1, len(ranks) - 1)
+        if mode == "sensitivity":
+            return normalized
+        return 0.5 * (normalized + mask_values)
+
+    def explanations(self) -> Explanations:
+        """Assemble ``E_feat`` and ``E_sub`` from the frozen masks plus the
+        accumulated edge sensitivity (§4.2; DESIGN.md §5)."""
+        if self._frozen_feature_mask is None or self._frozen_structure_values is None:
+            raise RuntimeError("train_explainable() must run before explanations()")
+        structure = scatter_edge_values(
+            self.khop_edges, self._explanation_edge_values(), self.num_nodes
+        )
+        return Explanations(
+            feature_mask=self._frozen_feature_mask,
+            feature_explanation=self._frozen_feature_mask * self.graph.features,
+            structure_mask=structure,
+            subgraph_explanation=structure,
+            khop_edge_index=self.khop_edges,
+        )
+
+    def fit(
+        self,
+        snapshot_epochs: Tuple[int, ...] = (),
+        explainable_epochs: Optional[int] = None,
+        predictive_epochs: Optional[int] = None,
+    ) -> SESResult:
+        """Run the full Algorithm 2 pipeline and collect results."""
+        self.train_explainable(epochs=explainable_epochs, snapshot_epochs=snapshot_epochs)
+        self.build_pairs()
+        self.train_predictive(epochs=predictive_epochs)
+        logits = self.final_logits()
+        predictions = logits_to_predictions(logits)
+        graph = self.graph
+        test_accuracy = accuracy(predictions, graph.labels, mask=graph.test_mask)
+        val_accuracy = (
+            accuracy(predictions, graph.labels, mask=graph.val_mask)
+            if graph.val_mask is not None and graph.val_mask.any()
+            else float("nan")
+        )
+        return SESResult(
+            test_accuracy=test_accuracy,
+            val_accuracy=val_accuracy,
+            history=self.history,
+            explanations=self.explanations(),
+            timings=dict(self.stopwatch.durations),
+            logits=logits,
+            hidden=self.hidden_embeddings(),
+            predictions=predictions,
+        )

@@ -1,0 +1,24 @@
+"""Dataset generators: synthetic motif benchmarks and real-world surrogates."""
+
+from .base import attach_ground_truth, directed_pairs, ground_truth_edge_labels
+from .realworld import citeseer_like, cora_like, cs_like, polblogs_like
+from .registry import dataset_names, load_dataset, real_world_names, synthetic_names
+from .synthetic import ba_community, ba_shapes, tree_cycle, tree_grid
+
+__all__ = [
+    "ba_shapes",
+    "ba_community",
+    "tree_cycle",
+    "tree_grid",
+    "cora_like",
+    "citeseer_like",
+    "polblogs_like",
+    "cs_like",
+    "load_dataset",
+    "dataset_names",
+    "real_world_names",
+    "synthetic_names",
+    "ground_truth_edge_labels",
+    "directed_pairs",
+    "attach_ground_truth",
+]

@@ -1,0 +1,131 @@
+"""Fig. 6 — subgraph-explanation visualisations on the synthetic datasets.
+
+The paper plots the motif neighbourhoods with edges shaded by importance,
+showing SES recovering the "house"/"cycle"/"grid" motifs cleanly.  Offline
+we quantify the same visual claim: for sampled motif nodes, the
+**motif-recovery precision** — the fraction of the top-|motif| ranked edges
+(per method) that are true motif edges — plus a textual edge ranking for
+one case per dataset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core import SESTrainer
+from ..explainers import (
+    GNNExplainer,
+    PGExplainer,
+    PGMExplainer,
+    candidate_edges_for_nodes,
+    sample_motif_nodes,
+)
+from ..models import train_node_classifier
+from ..utils import get_logger, make_rng
+from .common import Profile, TableResult, get_profile, prepare_synthetic, ses_synthetic_config
+
+logger = get_logger(__name__)
+
+DATASETS = ("ba_shapes", "ba_community", "tree_cycle", "tree_grid")
+METHODS = ("GNNExplainer", "PGExplainer", "PGMExplainer", "SES")
+
+
+def motif_recovery_precision(
+    edge_scores: Dict[Tuple[int, int], float],
+    graph,
+    nodes: np.ndarray,
+    hops: int = 2,
+) -> float:
+    """Precision of the top-k ranked neighbourhood edges vs motif ground
+    truth, averaged over the evaluated nodes (k = #motif edges present)."""
+    gt = graph.extra["gt_edge_mask"]
+    precisions = []
+    for node in nodes:
+        candidates = candidate_edges_for_nodes(graph, [int(node)], hops=hops)
+        keys = [
+            (int(candidates[0, c]), int(candidates[1, c]))
+            for c in range(candidates.shape[1])
+        ]
+        truth = np.array([1.0 if key in gt else 0.0 for key in keys])
+        k = int(truth.sum())
+        if k == 0 or k == len(keys):
+            continue
+        scores = np.array([edge_scores.get(key, 0.0) for key in keys])
+        top = np.argsort(-scores, kind="mergesort")[:k]
+        precisions.append(truth[top].mean())
+    return float(np.mean(precisions)) if precisions else float("nan")
+
+
+def _case_ranking(edge_scores, graph, node: int, limit: int = 8) -> str:
+    """Human-readable top-edge listing for one case node."""
+    gt = graph.extra["gt_edge_mask"]
+    candidates = candidate_edges_for_nodes(graph, [node], hops=2)
+    scored = []
+    for c in range(candidates.shape[1]):
+        key = (int(candidates[0, c]), int(candidates[1, c]))
+        scored.append((edge_scores.get(key, 0.0), key, key in gt))
+    scored.sort(key=lambda item: -item[0])
+    parts = [
+        f"{u}->{v}{'*' if is_motif else ''}({score:.2f})"
+        for score, (u, v), is_motif in scored[:limit]
+    ]
+    return " ".join(parts)
+
+
+def run(profile: Optional[Profile] = None) -> TableResult:
+    """Reproduce Fig. 6 as motif-recovery precision + case rankings."""
+    profile = profile or get_profile()
+    rows: List[List] = []
+    raw: Dict[str, Dict] = {}
+    for dataset in DATASETS:
+        graph = prepare_synthetic(dataset, profile, seed=0)
+        rng = make_rng(0)
+        nodes = sample_motif_nodes(graph, profile.explainer_nodes, rng)
+        classifier = train_node_classifier(
+            graph, "gcn", hidden=profile.hidden, epochs=profile.classifier_epochs,
+            dropout=0.1, seed=0,
+        )
+        scores_by_method: Dict[str, Dict] = {}
+        gex = GNNExplainer(classifier.model, graph, epochs=profile.gnn_explainer_epochs, seed=0)
+        scores_by_method["GNNExplainer"] = gex.edge_scores(nodes)
+        pge = PGExplainer(
+            classifier.model, graph, epochs=profile.pg_explainer_epochs,
+            train_nodes=graph.extra["motif_nodes"], seed=0,
+        ).fit()
+        scores_by_method["PGExplainer"] = pge.edge_scores()
+        pgm = PGMExplainer(classifier.model, graph, num_samples=profile.pgm_samples, seed=0)
+        scores_by_method["PGMExplainer"] = pgm.edge_scores(nodes)
+        trainer = SESTrainer(graph, ses_synthetic_config(profile, "gcn", seed=0))
+        trainer.train_explainable()
+        scores_by_method["SES"] = trainer.explanations().edge_scores()
+
+        case = int(nodes[0])
+        raw[dataset] = {"case_node": case, "rankings": {}}
+        row: List = [dataset]
+        for method in METHODS:
+            precision = motif_recovery_precision(scores_by_method[method], graph, nodes)
+            row.append(f"{precision * 100:.1f}")
+            raw[dataset]["rankings"][method] = _case_ranking(
+                scores_by_method[method], graph, case
+            )
+        rows.append(row)
+        logger.info("fig6 %s done", dataset)
+    return TableResult(
+        title=f"Fig. 6: motif-recovery precision (%) of subgraph explanations, "
+              f"profile={profile.name}",
+        headers=["Dataset"] + list(METHODS),
+        rows=rows,
+        notes=["'*' in raw rankings marks ground-truth motif edges"],
+        raw=raw,
+    )
+
+
+if __name__ == "__main__":
+    result = run()
+    print(result)
+    for dataset, data in result.raw.items():
+        print(f"\n--- {dataset}, case node {data['case_node']} ---")
+        for method, ranking in data["rankings"].items():
+            print(f"{method:>14}: {ranking}")

@@ -1,0 +1,73 @@
+"""Fig. 7 — optimisation of the feature and structure masks on Cora.
+
+The paper shows (i) train/validation loss curves over explainable training
+and (ii) mask-weight heatmaps at epochs 0, 150 and 299 evolving from a
+uniform palette to a stable dark/light contrast.  We reproduce the same
+evidence numerically: loss/val-accuracy series, per-snapshot dispersion
+and polarisation statistics (mask weights migrating out of the (0.25,
+0.75) band), and ASCII heatmaps of the snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..analysis import ascii_heatmap, summarize_snapshots
+from ..core import SESTrainer
+from ..utils import get_logger
+from .common import Profile, TableResult, get_profile, prepare_real_world, ses_config
+
+logger = get_logger(__name__)
+
+
+def run(profile: Optional[Profile] = None, dataset: str = "cora", seed: int = 0) -> TableResult:
+    """Reproduce Fig. 7."""
+    profile = profile or get_profile()
+    graph = prepare_real_world(dataset, profile, seed=seed)
+    epochs = profile.ses_explainable_epochs
+    snapshots = (0, epochs // 2, epochs - 1)
+    trainer = SESTrainer(graph, ses_config(profile, "gcn", seed=seed))
+    trainer.train_explainable(snapshot_epochs=snapshots)
+
+    stats = summarize_snapshots(trainer.history.mask_snapshots)
+    rows: List[List] = []
+    for mask_kind in ("feature", "structure"):
+        for epoch, snapshot in stats[mask_kind].items():
+            rows.append(
+                [f"{mask_kind} mask", epoch, f"{snapshot.mean:.3f}",
+                 f"{snapshot.std:.3f}", f"{snapshot.polarization:.3f}"]
+            )
+
+    losses = trainer.history.phase1_loss
+    raw: Dict = {
+        "loss_curve": losses,
+        "val_accuracy_curve": trainer.history.phase1_val_accuracy,
+        "stats": stats,
+        "heatmaps": {},
+    }
+    for epoch, (feature_mask, structure_mask) in trainer.history.mask_snapshots.items():
+        raw["heatmaps"][epoch] = {
+            "feature": ascii_heatmap(feature_mask[:40]),
+            "structure": ascii_heatmap(structure_mask[:1200].reshape(1, -1)),
+        }
+    logger.info("fig7 done: loss %.3f -> %.3f", losses[0], losses[-1])
+    return TableResult(
+        title=f"Fig. 7: mask optimisation during explainable training on "
+              f"{graph.name}, profile={profile.name}",
+        headers=["Mask", "Epoch", "Mean", "Std", "Polarisation"],
+        rows=rows,
+        notes=[
+            f"training loss {losses[0]:.3f} -> {losses[-1]:.3f} over {len(losses)} epochs",
+            "polarisation = fraction of weights outside (0.25, 0.75); the paper's",
+            "dark/light divergence corresponds to rising std and polarisation",
+        ],
+        raw=raw,
+    )
+
+
+if __name__ == "__main__":
+    result = run()
+    print(result)
+    for epoch, maps in sorted(result.raw["heatmaps"].items()):
+        print(f"\n--- structure-mask heatmap, epoch {epoch} ---")
+        print(maps["structure"])

@@ -1,0 +1,57 @@
+"""Table 7 — SES(GCN) training and inference time across datasets.
+
+Inference time = the explainable-training phase (explanations for all
+nodes drop out of it, Table 6 convention); training time = both phases
+plus pair construction.  The paper's trend — times growing with graph size
+and density (Cora < CiteSeer < PolBlogs ≪ CS) — is the reproduction
+target; absolute CPU seconds differ from the paper's RTX 3090.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core import SESTrainer
+from ..utils import format_duration, get_logger
+from .common import Profile, TableResult, get_profile, prepare_real_world, ses_config
+
+logger = get_logger(__name__)
+
+DATASETS = ("cora", "citeseer", "polblogs", "cs")
+
+
+def measure(profile: Profile, seed: int = 0) -> Dict[str, Dict[str, float]]:
+    """Per-dataset {'inference': s, 'training': s}."""
+    times: Dict[str, Dict[str, float]] = {}
+    for dataset in DATASETS:
+        graph = prepare_real_world(dataset, profile, seed=seed)
+        trainer = SESTrainer(graph, ses_config(profile, "gcn", seed=seed))
+        trainer.fit()
+        durations = trainer.stopwatch.durations
+        times[dataset] = {
+            "inference": durations.get("explainable", 0.0),
+            "training": sum(durations.values()),
+        }
+        logger.info("table7 %s done", dataset)
+    return times
+
+
+def run(profile: Optional[Profile] = None) -> TableResult:
+    """Reproduce Table 7."""
+    profile = profile or get_profile()
+    times = measure(profile)
+    rows: List[List] = [
+        ["Inference time"] + [format_duration(times[d]["inference"]) for d in DATASETS],
+        ["Training time"] + [format_duration(times[d]["training"]) for d in DATASETS],
+    ]
+    return TableResult(
+        title=f"Table 7: training and inference time of SES(GCN), profile={profile.name}",
+        headers=["", "Cora", "CiteSeer", "PolBlogs", "CS"],
+        rows=rows,
+        notes=["CPU wall-clock; the reproduction target is the growth trend"],
+        raw=times,
+    )
+
+
+if __name__ == "__main__":
+    print(run())

@@ -1,0 +1,85 @@
+"""Table 8 — time to construct positive/negative node pairs (Algorithm 1).
+
+The paper synthesises sparse graphs with ``|E| = 2 |V|`` and times
+Algorithm 1 at |V| = 0.1k, 1k, 10k, 50k, 70k.  We do the same: random
+sparse graphs, random mask weights in place of a trained mask (Algorithm 1
+is agnostic to where the weights come from), timing only the pair
+construction.  The reproduction target is the near-linear N·log(N) growth.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..core.pairs import construct_pairs
+from ..utils import get_logger
+from .common import Profile, TableResult, get_profile
+
+logger = get_logger(__name__)
+
+PAPER_SIZES = (100, 1_000, 10_000, 50_000, 70_000)
+QUICK_SIZES = (100, 1_000, 5_000)
+
+
+def _random_sparse_graph(num_nodes: int, rng: np.random.Generator) -> sp.csr_matrix:
+    """Random weighted graph with ~2·N undirected edges (paper setup)."""
+    num_edges = 2 * num_nodes
+    src = rng.integers(0, num_nodes, size=num_edges)
+    dst = rng.integers(0, num_nodes, size=num_edges)
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    weights = rng.random(len(src))
+    adj = sp.coo_matrix((weights, (src, dst)), shape=(num_nodes, num_nodes)).tocsr()
+    return adj.maximum(adj.T)
+
+
+def _negative_sets_for(adjacency: sp.csr_matrix, rng: np.random.Generator) -> Dict[int, np.ndarray]:
+    """Random negatives of matching sizes (sampling negatives is Algorithm 1's
+    random_sample input, not part of the timed construction)."""
+    num_nodes = adjacency.shape[0]
+    negatives = {}
+    degrees = np.diff(adjacency.indptr)
+    for node in range(num_nodes):
+        need = int(degrees[node])
+        negatives[node] = rng.integers(0, num_nodes, size=need).astype(np.int64)
+    return negatives
+
+
+def measure(sizes: Sequence[int], sample_ratio: float = 0.8, seed: int = 0) -> Dict[int, float]:
+    """Seconds to run Algorithm 1 per node count."""
+    rng = np.random.default_rng(seed)
+    results: Dict[int, float] = {}
+    for num_nodes in sizes:
+        adjacency = _random_sparse_graph(num_nodes, rng)
+        negatives = _negative_sets_for(adjacency, rng)
+        start = time.perf_counter()
+        construct_pairs(adjacency, negatives, sample_ratio, rng)
+        results[num_nodes] = time.perf_counter() - start
+        logger.info("table8 N=%d: %.3fs", num_nodes, results[num_nodes])
+    return results
+
+
+def run(profile: Optional[Profile] = None) -> TableResult:
+    """Reproduce Table 8."""
+    profile = profile or get_profile()
+    sizes = PAPER_SIZES if profile.name == "full" else (
+        PAPER_SIZES[:4] if profile.name == "standard" else QUICK_SIZES
+    )
+    results = measure(sizes)
+    labels = [f"{n/1000:g}k" for n in sizes]
+    rows = [["Time consumption"] + [f"{results[n]:.3f}s" for n in sizes]]
+    return TableResult(
+        title=f"Table 8: time of constructing positive-negative node pairs, "
+              f"profile={profile.name}",
+        headers=["Nodes"] + labels,
+        rows=rows,
+        raw=results,
+    )
+
+
+if __name__ == "__main__":
+    print(run())

@@ -1,0 +1,64 @@
+"""Table 9 — clustering quality of learned embeddings on CiteSeer.
+
+Silhouette and Calinski–Harabasz scores of the (128-d in the paper)
+node representations after training, for SES(GCN), SES(GAT), SEGNN and
+ProtGNN.  Higher is better; the paper's ordering is
+SES(GAT) > SES(GCN) > ProtGNN > SEGNN.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..metrics import calinski_harabasz_score, silhouette_score
+from ..models import SEGNN, ProtGNN
+from ..utils import get_logger
+from .common import Profile, TableResult, get_profile, prepare_real_world, run_ses
+
+logger = get_logger(__name__)
+
+
+def embedding_scores(profile: Profile, dataset: str = "citeseer", seed: int = 0) -> Dict[str, Dict[str, float]]:
+    """{'SES (GCN)': {'silhouette': …, 'calinski_harabasz': …}, …}"""
+    graph = prepare_real_world(dataset, profile, seed=seed)
+    embeddings: Dict[str, np.ndarray] = {}
+    for backbone in ("gcn", "gat"):
+        result = run_ses(graph, profile, backbone=backbone, seed=seed)
+        embeddings[f"SES ({backbone.upper()})"] = result.hidden
+    segnn = SEGNN(graph, hidden=profile.hidden, seed=seed)
+    embeddings["SEGNN"] = segnn.fit(epochs=profile.segnn_epochs).hidden
+    protgnn = ProtGNN(graph, hidden=profile.hidden, seed=seed)
+    embeddings["ProtGNN"] = protgnn.fit(epochs=profile.protgnn_epochs).hidden
+
+    scores: Dict[str, Dict[str, float]] = {}
+    for method, matrix in embeddings.items():
+        scores[method] = {
+            "silhouette": silhouette_score(matrix, graph.labels),
+            "calinski_harabasz": calinski_harabasz_score(matrix, graph.labels),
+        }
+        logger.info("table9 %s done", method)
+    return scores
+
+
+def run(profile: Optional[Profile] = None) -> TableResult:
+    """Reproduce Table 9."""
+    profile = profile or get_profile()
+    scores = embedding_scores(profile)
+    order = ["SES (GCN)", "SES (GAT)", "SEGNN", "ProtGNN"]
+    rows: List[List] = [
+        [m, f"{scores[m]['silhouette']:.3f}", f"{scores[m]['calinski_harabasz']:.2f}"]
+        for m in order
+    ]
+    return TableResult(
+        title=f"Table 9: statistical metrics for visualisation on CiteSeer-like, "
+              f"profile={profile.name}",
+        headers=["Method", "Silhouette", "Calinski-Harabasz"],
+        rows=rows,
+        raw=scores,
+    )
+
+
+if __name__ == "__main__":
+    print(run())

@@ -1,0 +1,57 @@
+"""ATT baseline (paper §5.2): GAT attention coefficients as explanations.
+
+Requires a model whose first convolution exposes attention weights
+(:class:`~repro.nn.gat.GATConv` or the fused variant store them after every
+forward pass).  Edge importance is the head-averaged attention, with
+attention from both layers averaged when available.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..tensor import Tensor, no_grad
+from .base import Explainer, NodeExplanation
+
+
+class AttentionExplainer(Explainer):
+    """Reads edge importance straight from GAT attention."""
+
+    name = "ATT"
+
+    def _attention_convs(self):
+        convs = []
+        for attr in ("conv1", "conv2"):
+            conv = getattr(self.model, attr, None)
+            if conv is not None and hasattr(conv, "edge_attention_scores"):
+                convs.append(conv)
+        if not convs:
+            raise TypeError("ATT explainer requires a GAT-backbone model")
+        return convs
+
+    def edge_scores(self, nodes: Optional[Iterable[int]] = None) -> Dict[Tuple[int, int], float]:
+        graph = self.graph
+        self.model.eval()
+        with no_grad():
+            self._forward(Tensor(graph.features), self.edge_index, graph.num_nodes)
+        merged: Dict[Tuple[int, int], float] = {}
+        counts: Dict[Tuple[int, int], int] = {}
+        for conv in self._attention_convs():
+            attention = conv.edge_attention_scores()
+            src, dst = conv.last_edge_index
+            for u, v, a in zip(src, dst, attention):
+                if u == v:
+                    continue  # drop the self-loop entries
+                key = (int(u), int(v))
+                merged[key] = merged.get(key, 0.0) + float(a)
+                counts[key] = counts.get(key, 0) + 1
+        return {key: value / counts[key] for key, value in merged.items()}
+
+    def explain_node(self, node: int) -> NodeExplanation:
+        scores = self.edge_scores()
+        incident = {
+            edge: score
+            for edge, score in scores.items()
+            if edge[0] == node or edge[1] == node
+        }
+        return NodeExplanation(node=node, edge_scores=incident or scores)

@@ -1,0 +1,125 @@
+"""Common interfaces for post-hoc GNN explainers (paper §5.2 baselines).
+
+Every explainer wraps a *trained* model exposing the GraphEncoder calling
+convention ``model(x, edge_index, num_nodes, edge_weight=None) -> logits``
+and the graph it was trained on.  Two granularities are supported:
+
+* :meth:`Explainer.explain_node` — per-instance edge/feature importances;
+* :meth:`Explainer.edge_scores` — one global directed-edge → importance
+  mapping (global methods compute it in one pass; instance-level methods
+  assemble it from per-node explanations).
+
+:func:`khop_subgraph` extracts the computational neighbourhood an
+instance-level explainer optimises over, matching the GNNExplainer
+protocol (the L-hop subgraph of an L-layer GNN fully determines the
+prediction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from ..graph import Graph
+from ..tensor import Module, Tensor, no_grad
+
+
+@dataclass
+class NodeExplanation:
+    """Importance scores explaining one node's prediction."""
+
+    node: int
+    edge_scores: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    feature_scores: Optional[np.ndarray] = None
+
+    def ranked_neighbors(self, graph: Graph) -> list:
+        """Direct neighbours of :attr:`node` ranked by incident-edge score."""
+        scores = []
+        for neighbor in graph.neighbors(self.node):
+            key_in = (int(neighbor), self.node)
+            key_out = (self.node, int(neighbor))
+            score = max(self.edge_scores.get(key_in, 0.0), self.edge_scores.get(key_out, 0.0))
+            scores.append((int(neighbor), score))
+        scores.sort(key=lambda pair: -pair[1])
+        return scores
+
+
+class Explainer:
+    """Base class: holds the trained model + graph and caches logits."""
+
+    name = "explainer"
+
+    def __init__(self, model: Module, graph: Graph) -> None:
+        self.model = model
+        self.graph = graph
+        self.edge_index = graph.edge_index()
+        self._original_logits: Optional[np.ndarray] = None
+
+    # -- model access ---------------------------------------------------
+    def _forward(self, features: Tensor, edge_index: np.ndarray, num_nodes: int,
+                 edge_weight: Optional[Tensor] = None) -> Tensor:
+        return self.model(features, edge_index, num_nodes, edge_weight=edge_weight)
+
+    def original_logits(self) -> np.ndarray:
+        """Logits of the unperturbed graph (cached)."""
+        if self._original_logits is None:
+            self.model.eval()
+            with no_grad():
+                logits = self._forward(
+                    Tensor(self.graph.features), self.edge_index, self.graph.num_nodes
+                )
+            self._original_logits = logits.data
+        return self._original_logits
+
+    def original_predictions(self) -> np.ndarray:
+        return self.original_logits().argmax(axis=1)
+
+    # -- explanation API -------------------------------------------------
+    def explain_node(self, node: int) -> NodeExplanation:
+        raise NotImplementedError
+
+    def edge_scores(self, nodes: Optional[Iterable[int]] = None) -> Dict[Tuple[int, int], float]:
+        """Directed edge → importance; default merges per-node explanations
+        by taking the maximum score any evaluated node assigns an edge."""
+        if nodes is None:
+            nodes = range(self.graph.num_nodes)
+        merged: Dict[Tuple[int, int], float] = {}
+        for node in nodes:
+            explanation = self.explain_node(int(node))
+            for edge, score in explanation.edge_scores.items():
+                if score > merged.get(edge, -np.inf):
+                    merged[edge] = score
+        return merged
+
+    def feature_importance(self, nodes: Optional[Iterable[int]] = None) -> np.ndarray:
+        """``(N, F)`` matrix of per-node feature importances (zero rows for
+        unevaluated nodes)."""
+        importance = np.zeros_like(self.graph.features, dtype=np.float64)
+        if nodes is None:
+            nodes = range(self.graph.num_nodes)
+        for node in nodes:
+            explanation = self.explain_node(int(node))
+            if explanation.feature_scores is not None:
+                importance[node] = explanation.feature_scores
+        return importance
+
+
+def khop_subgraph(
+    graph: Graph, node: int, hops: int
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Extract the ``hops``-hop computational subgraph around ``node``.
+
+    Returns ``(sub_nodes, sub_edge_index, center_position)`` where
+    ``sub_edge_index`` is relabelled to local ids and ``sub_nodes`` maps
+    local → global ids (center included).
+    """
+    neighborhood = graph.subgraph_nodes(node, hops)
+    sub_nodes = np.concatenate([[node], neighborhood]).astype(np.int64)
+    position = {int(g): i for i, g in enumerate(sub_nodes)}
+    src, dst = graph.edge_index()
+    keep = np.isin(src, sub_nodes) & np.isin(dst, sub_nodes)
+    local_src = np.array([position[int(u)] for u in src[keep]], dtype=np.int64)
+    local_dst = np.array([position[int(v)] for v in dst[keep]], dtype=np.int64)
+    return sub_nodes, np.vstack([local_src, local_dst]), 0

@@ -1,0 +1,118 @@
+"""GraphLIME (Huang et al., TKDE 2022) — HSIC-Lasso feature explanations.
+
+For a target node, its N-hop neighbourhood provides the local samples; the
+Hilbert–Schmidt Independence Criterion Lasso selects the feature dimensions
+whose (kernelised) variation best explains the variation of the model's
+output distribution over those samples.  GraphLIME produces *feature*
+importances only, which is exactly the role it plays in the paper's
+Fidelity+ comparison (Table 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Explainer, NodeExplanation, khop_subgraph
+
+
+def _center(kernel: np.ndarray) -> np.ndarray:
+    n = kernel.shape[0]
+    h = np.eye(n) - np.ones((n, n)) / n
+    return h @ kernel @ h
+
+
+def _rbf(values: np.ndarray, gamma: float) -> np.ndarray:
+    diff = values[:, None] - values[None, :]
+    return np.exp(-gamma * diff * diff)
+
+
+def _nonnegative_lasso(
+    design: np.ndarray, response: np.ndarray, rho: float, iterations: int = 200
+) -> np.ndarray:
+    """Coordinate descent for min ||y - D beta||^2 + rho |beta|, beta >= 0."""
+    num_features = design.shape[1]
+    beta = np.zeros(num_features)
+    column_norms = (design * design).sum(axis=0)
+    residual = response - design @ beta
+    for _ in range(iterations):
+        max_delta = 0.0
+        for j in range(num_features):
+            if column_norms[j] == 0:
+                continue
+            rho_j = design[:, j] @ residual + column_norms[j] * beta[j]
+            new_value = max(0.0, (rho_j - rho / 2.0)) / column_norms[j]
+            delta = new_value - beta[j]
+            if delta != 0.0:
+                residual -= design[:, j] * delta
+                beta[j] = new_value
+                max_delta = max(max_delta, abs(delta))
+        if max_delta < 1e-6:
+            break
+    return beta
+
+
+class GraphLIME(Explainer):
+    """Local nonlinear feature-importance explainer."""
+
+    name = "GraphLIME"
+
+    def __init__(
+        self,
+        model,
+        graph,
+        hops: int = 2,
+        rho: float = 0.1,
+        max_samples: int = 60,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(model, graph)
+        self.hops = hops
+        self.rho = rho
+        self.max_samples = max_samples
+        self._rng = np.random.default_rng(seed)
+        self._probabilities = None
+
+    def _output_probabilities(self) -> np.ndarray:
+        if self._probabilities is None:
+            logits = self.original_logits()
+            shifted = logits - logits.max(axis=1, keepdims=True)
+            exp = np.exp(shifted)
+            self._probabilities = exp / exp.sum(axis=1, keepdims=True)
+        return self._probabilities
+
+    def explain_node(self, node: int) -> NodeExplanation:
+        graph = self.graph
+        sub_nodes, _, _ = khop_subgraph(graph, node, self.hops)
+        if len(sub_nodes) > self.max_samples:
+            keep = self._rng.choice(len(sub_nodes) - 1, self.max_samples - 1, replace=False) + 1
+            sub_nodes = np.concatenate([[sub_nodes[0]], sub_nodes[keep]])
+        if len(sub_nodes) < 3:
+            return NodeExplanation(node=node, feature_scores=np.zeros(graph.num_features))
+        samples = graph.features[sub_nodes]
+        outputs = self._output_probabilities()[sub_nodes]
+        n = len(sub_nodes)
+
+        # Output kernel L (RBF over probability vectors), centred+normalised.
+        sq = ((outputs[:, None, :] - outputs[None, :, :]) ** 2).sum(axis=2)
+        bandwidth = np.median(sq[sq > 0]) if (sq > 0).any() else 1.0
+        output_kernel = _center(np.exp(-sq / max(bandwidth, 1e-9)))
+        norm = np.linalg.norm(output_kernel)
+        if norm == 0:
+            return NodeExplanation(node=node, feature_scores=np.zeros(graph.num_features))
+        response = (output_kernel / norm).ravel()
+
+        # Per-feature centred kernels as the design matrix columns.
+        active = np.flatnonzero(samples.std(axis=0) > 0)
+        design = np.zeros((n * n, len(active)))
+        for column, feature in enumerate(active):
+            values = samples[:, feature]
+            spread = values.std()
+            kernel = _center(_rbf(values, gamma=1.0 / (2.0 * spread * spread)))
+            kernel_norm = np.linalg.norm(kernel)
+            if kernel_norm > 0:
+                design[:, column] = (kernel / kernel_norm).ravel()
+
+        beta = _nonnegative_lasso(design, response, self.rho)
+        feature_scores = np.zeros(graph.num_features)
+        feature_scores[active] = beta
+        return NodeExplanation(node=node, feature_scores=feature_scores)

@@ -1,0 +1,205 @@
+"""Core graph container used across the SES reproduction.
+
+:class:`Graph` is the analogue of a PyG ``Data`` object: it stores node
+features ``X``, an undirected adjacency ``A`` (scipy CSR), optional labels
+``Y`` and split masks, and caches derived artifacts (edge index, degrees,
+k-hop expansions) that the model stack queries repeatedly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def _validate_adjacency(adjacency: sp.spmatrix) -> sp.csr_matrix:
+    """Coerce to CSR, drop explicit zeros and self-loops, and symmetrise."""
+    adj = sp.csr_matrix(adjacency, dtype=np.float64)
+    if adj.shape[0] != adj.shape[1]:
+        raise ValueError(f"adjacency must be square, got {adj.shape}")
+    adj.setdiag(0.0)
+    adj.eliminate_zeros()
+    # Symmetrise: every graph in the paper is undirected.
+    adj = adj.maximum(adj.T)
+    adj.sort_indices()
+    return adj
+
+
+@dataclass
+class Graph:
+    """An attributed, undirected graph.
+
+    Parameters
+    ----------
+    adjacency:
+        ``(N, N)`` scipy sparse matrix; symmetrised and de-looped on entry.
+    features:
+        ``(N, F)`` dense node features ``X``.
+    labels:
+        Optional ``(N,)`` integer class labels ``Y``.
+    train_mask / val_mask / test_mask:
+        Optional boolean masks for transductive splits.
+    name:
+        Dataset name for logging.
+    extra:
+        Free-form metadata — synthetic datasets store their ground-truth
+        explanation edges here under ``"gt_edge_mask"``.
+    """
+
+    adjacency: sp.csr_matrix
+    features: np.ndarray
+    labels: Optional[np.ndarray] = None
+    train_mask: Optional[np.ndarray] = None
+    val_mask: Optional[np.ndarray] = None
+    test_mask: Optional[np.ndarray] = None
+    name: str = "graph"
+    extra: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.adjacency = _validate_adjacency(self.adjacency)
+        self.features = np.asarray(self.features, dtype=np.float64)
+        if self.features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {self.features.shape}")
+        if self.features.shape[0] != self.adjacency.shape[0]:
+            raise ValueError(
+                f"{self.features.shape[0]} feature rows for "
+                f"{self.adjacency.shape[0]} adjacency rows"
+            )
+        if self.labels is not None:
+            self.labels = np.asarray(self.labels, dtype=np.int64)
+            if self.labels.shape != (self.num_nodes,):
+                raise ValueError(f"labels must have shape ({self.num_nodes},)")
+        for mask_name in ("train_mask", "val_mask", "test_mask"):
+            mask = getattr(self, mask_name)
+            if mask is not None:
+                mask = np.asarray(mask, dtype=bool)
+                if mask.shape != (self.num_nodes,):
+                    raise ValueError(f"{mask_name} must have shape ({self.num_nodes},)")
+                setattr(self, mask_name, mask)
+        self._cache: Dict = {}
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.adjacency.shape[0]
+
+    @property
+    def num_features(self) -> int:
+        return self.features.shape[1]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edge entries (2x the undirected edge count)."""
+        return int(self.adjacency.nnz)
+
+    @property
+    def num_classes(self) -> int:
+        if self.labels is None:
+            raise ValueError("graph has no labels")
+        return int(self.labels.max()) + 1
+
+    def degrees(self) -> np.ndarray:
+        """Node degrees (weighted if the adjacency carries weights)."""
+        if "degrees" not in self._cache:
+            self._cache["degrees"] = np.asarray(self.adjacency.sum(axis=1)).ravel()
+        return self._cache["degrees"]
+
+    # ------------------------------------------------------------------
+    # Edge representations
+    # ------------------------------------------------------------------
+    def edge_index(self) -> np.ndarray:
+        """``(2, E)`` array of (source, destination) pairs, both directions."""
+        if "edge_index" not in self._cache:
+            coo = self.adjacency.tocoo()
+            self._cache["edge_index"] = np.vstack([coo.row, coo.col]).astype(np.int64)
+        return self._cache["edge_index"]
+
+    def edge_weights(self) -> np.ndarray:
+        """``(E,)`` weights aligned with :meth:`edge_index`."""
+        if "edge_weights" not in self._cache:
+            coo = self.adjacency.tocoo()
+            self._cache["edge_weights"] = coo.data.astype(np.float64)
+        return self._cache["edge_weights"]
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Neighbour ids of ``node``."""
+        start, stop = self.adjacency.indptr[node], self.adjacency.indptr[node + 1]
+        return self.adjacency.indices[start:stop]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge (u, v) exists."""
+        return bool(self.adjacency[u, v] != 0)
+
+    def subgraph_nodes(self, center: int, hops: int) -> np.ndarray:
+        """Node ids within ``hops`` of ``center`` (excluding the center)."""
+        frontier = {center}
+        reached = {center}
+        for _ in range(hops):
+            nxt = set()
+            for node in frontier:
+                nxt.update(self.neighbors(node).tolist())
+            frontier = nxt - reached
+            reached |= nxt
+            if not frontier:
+                break
+        reached.discard(center)
+        return np.array(sorted(reached), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        num_nodes: int,
+        edges: np.ndarray,
+        features: Optional[np.ndarray] = None,
+        **kwargs,
+    ) -> "Graph":
+        """Build a graph from an ``(E, 2)`` undirected edge array."""
+        edges = np.asarray(edges, dtype=np.int64)
+        if edges.size == 0:
+            adj = sp.csr_matrix((num_nodes, num_nodes))
+        else:
+            if edges.ndim != 2 or edges.shape[1] != 2:
+                raise ValueError("edges must be (E, 2)")
+            data = np.ones(len(edges))
+            adj = sp.coo_matrix(
+                (data, (edges[:, 0], edges[:, 1])), shape=(num_nodes, num_nodes)
+            ).tocsr()
+        if features is None:
+            features = np.ones((num_nodes, 1))
+        return cls(adjacency=adj, features=features, **kwargs)
+
+    @classmethod
+    def from_networkx(cls, nx_graph, features: Optional[np.ndarray] = None, **kwargs) -> "Graph":
+        """Build from a networkx graph with contiguous integer node ids."""
+        import networkx as nx
+
+        n = nx_graph.number_of_nodes()
+        adj = nx.to_scipy_sparse_array(nx_graph, nodelist=range(n), format="csr")
+        if features is None:
+            features = np.ones((n, 1))
+        return cls(adjacency=sp.csr_matrix(adj), features=features, **kwargs)
+
+    def labelled_nodes(self) -> np.ndarray:
+        """Indices in the training mask (the ``V_L`` of the paper)."""
+        if self.train_mask is None:
+            raise ValueError("graph has no train mask")
+        return np.flatnonzero(self.train_mask)
+
+    def summary(self) -> str:
+        """One-line description used by example scripts."""
+        parts = [
+            f"{self.name}: {self.num_nodes} nodes",
+            f"{self.num_edges // 2} undirected edges",
+            f"{self.num_features} features",
+        ]
+        if self.labels is not None:
+            parts.append(f"{self.num_classes} classes")
+        return ", ".join(parts)

@@ -1,0 +1,71 @@
+"""k-hop adjacency construction (the ``A^(k)`` of the paper, Table 2).
+
+SES builds its structure mask over the *k-hop* neighbourhood of every node:
+``A^(k)`` has an entry for every ordered pair ``(i, j)`` whose shortest-path
+distance is between 1 and ``k``.  The complement ``Ã^(k)`` drives negative
+sampling (paper §4.1.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .graph import Graph
+
+
+def khop_adjacency(graph: Graph, k: int) -> sp.csr_matrix:
+    """Binary adjacency of all nodes within ``k`` hops (no self-loops).
+
+    Computed by boolean powers of the adjacency; cached on the graph since
+    SES queries it on every forward pass.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    cache_key = ("khop", k)
+    if cache_key in graph._cache:
+        return graph._cache[cache_key]
+
+    base = (graph.adjacency != 0).astype(np.float64).tocsr()
+    reach = base.copy()
+    power = base
+    for _ in range(k - 1):
+        power = (power @ base).tocsr()
+        power.data[:] = 1.0
+        reach = reach.maximum(power)
+    reach = sp.csr_matrix(reach)
+    reach.setdiag(0.0)
+    reach.eliminate_zeros()
+    reach.data[:] = 1.0
+    reach.sort_indices()
+    graph._cache[cache_key] = reach
+    return reach
+
+
+def khop_edge_index(graph: Graph, k: int) -> np.ndarray:
+    """``(2, N_k)`` edge list of ``A^(k)`` — the paper's ``Idx`` matrix (Eq. 5)."""
+    cache_key = ("khop_edge_index", k)
+    if cache_key in graph._cache:
+        return graph._cache[cache_key]
+    coo = khop_adjacency(graph, k).tocoo()
+    idx = np.vstack([coo.row, coo.col]).astype(np.int64)
+    graph._cache[cache_key] = idx
+    return idx
+
+
+def scatter_edge_values(
+    edge_index: np.ndarray, values: np.ndarray, num_nodes: int
+) -> sp.csr_matrix:
+    """Place per-edge ``values`` into an ``(N, N)`` sparse matrix.
+
+    This realises paper Eq. 5 — transferring the flat structure mask ``M_s``
+    into the matrix form ``M̂_s`` aligned with ``A^(k)``.
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.shape[0] != edge_index.shape[1]:
+        raise ValueError(
+            f"{values.shape[0]} values for {edge_index.shape[1]} edges"
+        )
+    return sp.coo_matrix(
+        (values, (edge_index[0], edge_index[1])), shape=(num_nodes, num_nodes)
+    ).tocsr()

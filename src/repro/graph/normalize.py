@@ -1,0 +1,84 @@
+"""Graph-operator normalisations for message passing.
+
+These produce the *constant* structural coefficients of each convolution
+(e.g. the symmetric GCN normalisation).  When a structure mask is applied,
+the differentiable mask weights multiply these constants per edge, so
+gradients flow to the mask while the normalisation itself stays fixed —
+the scheme described in DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from .graph import Graph
+
+
+def gcn_normalized_adjacency(
+    graph: Graph, add_self_loops: bool = True
+) -> sp.csr_matrix:
+    """Kipf–Welling normalisation ``D̂^{-1/2} (A + I) D̂^{-1/2}``."""
+    cache_key = ("gcn_norm", add_self_loops)
+    if cache_key in graph._cache:
+        return graph._cache[cache_key]
+    adj = graph.adjacency
+    if add_self_loops:
+        adj = adj + sp.identity(graph.num_nodes, format="csr")
+    degrees = np.asarray(adj.sum(axis=1)).ravel()
+    inv_sqrt = np.zeros_like(degrees)
+    nonzero = degrees > 0
+    inv_sqrt[nonzero] = degrees[nonzero] ** -0.5
+    d_mat = sp.diags(inv_sqrt)
+    normalized = (d_mat @ adj @ d_mat).tocsr()
+    graph._cache[cache_key] = normalized
+    return normalized
+
+
+def gcn_edge_norm(
+    edge_index: np.ndarray, num_nodes: int, edge_base_weight: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Edge-list form of the GCN normalisation, with self-loops appended.
+
+    Returns
+    -------
+    (edge_index_with_loops, coefficients):
+        ``edge_index_with_loops`` is ``(2, E + N)``; ``coefficients[e]`` is
+        ``1/sqrt(d_src * d_dst)`` computed on the self-looped degree.
+    """
+    src, dst = edge_index
+    loops = np.arange(num_nodes, dtype=np.int64)
+    full_src = np.concatenate([src, loops])
+    full_dst = np.concatenate([dst, loops])
+    if edge_base_weight is None:
+        weights = np.ones(full_src.shape[0])
+    else:
+        weights = np.concatenate([np.asarray(edge_base_weight, dtype=np.float64), np.ones(num_nodes)])
+    degrees = np.bincount(full_dst, weights=weights, minlength=num_nodes).astype(np.float64)
+    inv_sqrt = np.zeros_like(degrees)
+    nonzero = degrees > 0
+    inv_sqrt[nonzero] = degrees[nonzero] ** -0.5
+    coefficients = weights * inv_sqrt[full_src] * inv_sqrt[full_dst]
+    return np.vstack([full_src, full_dst]), coefficients
+
+
+def row_normalized_adjacency(graph: Graph, add_self_loops: bool = True) -> sp.csr_matrix:
+    """Random-walk normalisation ``D̂^{-1} (A + I)`` (used by A-SDGN/ARMA)."""
+    adj = graph.adjacency
+    if add_self_loops:
+        adj = adj + sp.identity(graph.num_nodes, format="csr")
+    degrees = np.asarray(adj.sum(axis=1)).ravel()
+    inv = np.zeros_like(degrees)
+    nonzero = degrees > 0
+    inv[nonzero] = 1.0 / degrees[nonzero]
+    return (sp.diags(inv) @ adj).tocsr()
+
+
+def row_normalize_features(features: np.ndarray) -> np.ndarray:
+    """Scale each feature row to unit L1 norm (Planetoid convention)."""
+    features = np.asarray(features, dtype=np.float64)
+    sums = np.abs(features).sum(axis=1, keepdims=True)
+    sums[sums == 0] = 1.0
+    return features / sums

@@ -1,0 +1,76 @@
+"""Train/validation/test splits.
+
+The paper uses 60/20/20 random splits for node classification (§5.3,
+following Guo et al. 2022) and 80/10/10 for the synthetic explanation
+datasets (following GNNExplainer).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .graph import Graph
+
+
+def random_split(
+    num_nodes: int,
+    train_fraction: float,
+    val_fraction: float,
+    rng: np.random.Generator,
+    stratify: np.ndarray = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Random boolean masks; optionally stratified by label.
+
+    Returns ``(train_mask, val_mask, test_mask)`` partitioning all nodes.
+    """
+    if not 0 < train_fraction < 1 or not 0 <= val_fraction < 1:
+        raise ValueError("fractions must lie in (0, 1)")
+    if train_fraction + val_fraction >= 1:
+        raise ValueError("train + val fractions must leave room for test")
+    train_mask = np.zeros(num_nodes, dtype=bool)
+    val_mask = np.zeros(num_nodes, dtype=bool)
+    test_mask = np.zeros(num_nodes, dtype=bool)
+
+    if stratify is not None:
+        stratify = np.asarray(stratify)
+        groups = [np.flatnonzero(stratify == c) for c in np.unique(stratify)]
+    else:
+        groups = [np.arange(num_nodes)]
+
+    for group in groups:
+        permuted = rng.permutation(group)
+        n_train = max(1, int(round(train_fraction * len(group))))
+        n_val = int(round(val_fraction * len(group)))
+        train_mask[permuted[:n_train]] = True
+        val_mask[permuted[n_train: n_train + n_val]] = True
+        test_mask[permuted[n_train + n_val:]] = True
+    return train_mask, val_mask, test_mask
+
+
+def apply_split(
+    graph: Graph,
+    train_fraction: float = 0.6,
+    val_fraction: float = 0.2,
+    seed: int = 0,
+    stratified: bool = True,
+) -> Graph:
+    """Attach random split masks to ``graph`` in place and return it."""
+    rng = np.random.default_rng(seed)
+    stratify = graph.labels if stratified and graph.labels is not None else None
+    train, val, test = random_split(
+        graph.num_nodes, train_fraction, val_fraction, rng, stratify=stratify
+    )
+    graph.train_mask, graph.val_mask, graph.test_mask = train, val, test
+    return graph
+
+
+def classification_split(graph: Graph, seed: int = 0) -> Graph:
+    """The paper's 60/20/20 node-classification split."""
+    return apply_split(graph, 0.6, 0.2, seed=seed)
+
+
+def explanation_split(graph: Graph, seed: int = 0) -> Graph:
+    """The paper's 80/10/10 split for synthetic explanation datasets."""
+    return apply_split(graph, 0.8, 0.1, seed=seed)

@@ -1,0 +1,125 @@
+"""Descriptive graph statistics.
+
+Used by dataset generators' self-checks, the documentation, and the
+surrogate-calibration notes in DESIGN.md §3 (the surrogates must match the
+originals on the properties the experiments exercise: homophily, degree
+heterogeneity, feature–class correlation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .graph import Graph
+
+
+def edge_homophily(graph: Graph) -> float:
+    """Fraction of (directed) edges whose endpoints share a label."""
+    if graph.labels is None:
+        raise ValueError("homophily requires labels")
+    src, dst = graph.edge_index()
+    if len(src) == 0:
+        raise ValueError("graph has no edges")
+    return float((graph.labels[src] == graph.labels[dst]).mean())
+
+
+def degree_gini(graph: Graph) -> float:
+    """Gini coefficient of the degree distribution (0 = regular graph)."""
+    degrees = np.sort(graph.degrees())
+    n = len(degrees)
+    total = degrees.sum()
+    if total == 0:
+        return 0.0
+    cumulative = np.cumsum(degrees)
+    return float((n + 1 - 2 * (cumulative / total).sum()) / n)
+
+
+def feature_class_correlation(graph: Graph, sample_features: int = 200) -> float:
+    """Mean |point-biserial correlation| between features and class labels.
+
+    A quick scalar for "how informative are the features": ~0 for random
+    features, larger when classes have distinctive columns.
+    """
+    if graph.labels is None:
+        raise ValueError("correlation requires labels")
+    features = graph.features
+    if features.shape[1] > sample_features:
+        columns = np.linspace(0, features.shape[1] - 1, sample_features).astype(int)
+        features = features[:, columns]
+    correlations = []
+    for cls in range(graph.num_classes):
+        member = (graph.labels == cls).astype(np.float64)
+        member = member - member.mean()
+        centered = features - features.mean(axis=0)
+        denom = np.sqrt((member**2).sum() * (centered**2).sum(axis=0))
+        valid = denom > 0
+        if valid.any():
+            corr = (centered[:, valid] * member[:, None]).sum(axis=0) / denom[valid]
+            correlations.append(np.abs(corr).max())
+    return float(np.mean(correlations)) if correlations else 0.0
+
+
+def connected_components(graph: Graph) -> np.ndarray:
+    """Component id per node (BFS over the undirected adjacency)."""
+    labels = np.full(graph.num_nodes, -1, dtype=np.int64)
+    current = 0
+    for start in range(graph.num_nodes):
+        if labels[start] >= 0:
+            continue
+        stack = [start]
+        labels[start] = current
+        while stack:
+            node = stack.pop()
+            for neighbor in graph.neighbors(node):
+                if labels[neighbor] < 0:
+                    labels[neighbor] = current
+                    stack.append(int(neighbor))
+        current += 1
+    return labels
+
+
+@dataclass
+class GraphProfile:
+    """Summary used in docs and dataset self-checks."""
+
+    num_nodes: int
+    num_undirected_edges: int
+    mean_degree: float
+    max_degree: int
+    degree_gini: float
+    num_components: int
+    homophily: Optional[float]
+    feature_correlation: Optional[float]
+
+    def render(self) -> str:
+        lines = [
+            f"nodes: {self.num_nodes}",
+            f"undirected edges: {self.num_undirected_edges}",
+            f"mean degree: {self.mean_degree:.2f} (max {self.max_degree})",
+            f"degree gini: {self.degree_gini:.3f}",
+            f"components: {self.num_components}",
+        ]
+        if self.homophily is not None:
+            lines.append(f"edge homophily: {self.homophily:.3f}")
+        if self.feature_correlation is not None:
+            lines.append(f"feature-class correlation: {self.feature_correlation:.3f}")
+        return "\n".join(lines)
+
+
+def profile_graph(graph: Graph) -> GraphProfile:
+    """Compute a :class:`GraphProfile`."""
+    degrees = graph.degrees()
+    labelled = graph.labels is not None
+    return GraphProfile(
+        num_nodes=graph.num_nodes,
+        num_undirected_edges=graph.num_edges // 2,
+        mean_degree=float(degrees.mean()),
+        max_degree=int(degrees.max()) if len(degrees) else 0,
+        degree_gini=degree_gini(graph),
+        num_components=int(connected_components(graph).max()) + 1,
+        homophily=edge_homophily(graph) if labelled and graph.num_edges else None,
+        feature_correlation=feature_class_correlation(graph) if labelled else None,
+    )

@@ -1,0 +1,14 @@
+"""Graph-level extension (the paper's future-work direction): batching,
+a motif-presence benchmark, and the self-explained graph classifier."""
+
+from .data import GraphBatch, make_batch, motif_presence_dataset
+from .model import GraphClassifier, GraphSES, GraphSESResult
+
+__all__ = [
+    "GraphBatch",
+    "make_batch",
+    "motif_presence_dataset",
+    "GraphClassifier",
+    "GraphSES",
+    "GraphSESResult",
+]

@@ -1,0 +1,130 @@
+"""Serialisation: graphs, model checkpoints and explanations.
+
+Everything round-trips through numpy ``.npz`` archives so a trained SES
+model or a generated dataset can be saved, shipped and reloaded without
+pickle (safe to load from untrusted sources).
+
+* :func:`save_graph` / :func:`load_graph` — a full :class:`~repro.graph.Graph`
+  including splits and synthetic ground-truth masks.
+* :func:`save_checkpoint` / :func:`load_checkpoint` — any
+  :class:`~repro.tensor.Module` parameter state.
+* :func:`save_explanations` / :func:`load_explanations` — SES
+  :class:`~repro.core.explanations.Explanations`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from .core.explanations import Explanations
+from .graph import Graph
+from .tensor import Module
+
+PathLike = Union[str, Path]
+
+
+def save_graph(graph: Graph, path: PathLike) -> None:
+    """Write a graph (topology, features, labels, splits, ground truth)."""
+    coo = graph.adjacency.tocoo()
+    payload = {
+        "num_nodes": np.array(graph.num_nodes),
+        "edge_row": coo.row.astype(np.int64),
+        "edge_col": coo.col.astype(np.int64),
+        "edge_data": coo.data,
+        "features": graph.features,
+        "name": np.array(graph.name),
+    }
+    if graph.labels is not None:
+        payload["labels"] = graph.labels
+    for mask_name in ("train_mask", "val_mask", "test_mask"):
+        mask = getattr(graph, mask_name)
+        if mask is not None:
+            payload[mask_name] = mask
+    gt = graph.extra.get("gt_edge_mask")
+    if gt:
+        edges = np.array(sorted(gt), dtype=np.int64)
+        payload["gt_edges"] = edges
+        payload["gt_values"] = np.array([gt[tuple(edge)] for edge in edges])
+    if "motif_nodes" in graph.extra:
+        payload["motif_nodes"] = graph.extra["motif_nodes"]
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_graph(path: PathLike) -> Graph:
+    """Read a graph written by :func:`save_graph`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        num_nodes = int(archive["num_nodes"])
+        adjacency = sp.coo_matrix(
+            (archive["edge_data"], (archive["edge_row"], archive["edge_col"])),
+            shape=(num_nodes, num_nodes),
+        ).tocsr()
+        graph = Graph(
+            adjacency=adjacency,
+            features=archive["features"],
+            labels=archive["labels"] if "labels" in archive else None,
+            train_mask=archive["train_mask"] if "train_mask" in archive else None,
+            val_mask=archive["val_mask"] if "val_mask" in archive else None,
+            test_mask=archive["test_mask"] if "test_mask" in archive else None,
+            name=str(archive["name"]),
+        )
+        if "gt_edges" in archive:
+            edges, values = archive["gt_edges"], archive["gt_values"]
+            graph.extra["gt_edge_mask"] = {
+                (int(u), int(v)): float(w) for (u, v), w in zip(edges, values)
+            }
+        if "motif_nodes" in archive:
+            graph.extra["motif_nodes"] = archive["motif_nodes"]
+    return graph
+
+
+def save_checkpoint(module: Module, path: PathLike) -> None:
+    """Write a module's parameters (dotted names become archive keys)."""
+    state = module.state_dict()
+    np.savez_compressed(Path(path), **{k.replace(".", "/"): v for k, v in state.items()})
+
+
+def load_checkpoint(module: Module, path: PathLike) -> Module:
+    """Load parameters written by :func:`save_checkpoint` into ``module``."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        state = {key.replace("/", "."): archive[key] for key in archive.files}
+    module.load_state_dict(state)
+    return module
+
+
+def save_explanations(explanations: Explanations, path: PathLike) -> None:
+    """Write an :class:`Explanations` bundle."""
+    structure = explanations.structure_mask.tocoo()
+    np.savez_compressed(
+        Path(path),
+        feature_mask=explanations.feature_mask,
+        feature_explanation=explanations.feature_explanation,
+        structure_row=structure.row.astype(np.int64),
+        structure_col=structure.col.astype(np.int64),
+        structure_data=structure.data,
+        num_nodes=np.array(explanations.feature_mask.shape[0]),
+        khop_edge_index=explanations.khop_edge_index,
+    )
+
+
+def load_explanations(path: PathLike) -> Explanations:
+    """Read an explanations bundle written by :func:`save_explanations`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        num_nodes = int(archive["num_nodes"])
+        structure = sp.coo_matrix(
+            (
+                archive["structure_data"],
+                (archive["structure_row"], archive["structure_col"]),
+            ),
+            shape=(num_nodes, num_nodes),
+        ).tocsr()
+        return Explanations(
+            feature_mask=archive["feature_mask"],
+            feature_explanation=archive["feature_explanation"],
+            structure_mask=structure,
+            subgraph_explanation=structure,
+            khop_edge_index=archive["khop_edge_index"],
+        )

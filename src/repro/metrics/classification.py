@@ -1,0 +1,54 @@
+"""Node-classification metrics (Table 3)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray, mask: Optional[np.ndarray] = None) -> float:
+    """Fraction of correct predictions, optionally restricted to ``mask``."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError(f"shape mismatch: {predictions.shape} vs {labels.shape}")
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        predictions, labels = predictions[mask], labels[mask]
+    if len(labels) == 0:
+        raise ValueError("no nodes selected for accuracy computation")
+    return float((predictions == labels).mean())
+
+
+def confusion_matrix(predictions: np.ndarray, labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """``(C, C)`` matrix with true classes on rows."""
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+def macro_f1(predictions: np.ndarray, labels: np.ndarray, num_classes: Optional[int] = None) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if num_classes is None:
+        num_classes = int(max(predictions.max(initial=0), labels.max(initial=0))) + 1
+    matrix = confusion_matrix(predictions, labels, num_classes)
+    scores = []
+    for c in range(num_classes):
+        tp = matrix[c, c]
+        fp = matrix[:, c].sum() - tp
+        fn = matrix[c, :].sum() - tp
+        if tp == 0:
+            scores.append(0.0)
+            continue
+        precision = tp / (tp + fp)
+        recall = tp / (tp + fn)
+        scores.append(2 * precision * recall / (precision + recall))
+    return float(np.mean(scores))
+
+
+def logits_to_predictions(logits: np.ndarray) -> np.ndarray:
+    """Argmax over the class axis."""
+    return np.asarray(logits).argmax(axis=-1)

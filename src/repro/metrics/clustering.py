@@ -1,0 +1,72 @@
+"""Cluster-quality metrics for embedding visualisation (Table 9).
+
+Numpy implementations of the Silhouette score (Rousseeuw, 1987) and the
+Calinski–Harabasz score (1974), matching sklearn's definitions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _pairwise_distances(x: np.ndarray) -> np.ndarray:
+    """Dense euclidean distance matrix."""
+    squared = (x * x).sum(axis=1)
+    gram = x @ x.T
+    dist_sq = squared[:, None] + squared[None, :] - 2.0 * gram
+    np.maximum(dist_sq, 0.0, out=dist_sq)
+    return np.sqrt(dist_sq)
+
+
+def silhouette_score(embeddings: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient over all samples.
+
+    ``s(i) = (b_i - a_i) / max(a_i, b_i)`` with ``a_i`` the mean intra-
+    cluster distance and ``b_i`` the mean distance to the nearest other
+    cluster.  Singleton clusters contribute 0 (sklearn convention).
+    """
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    labels = np.asarray(labels)
+    classes = np.unique(labels)
+    if len(classes) < 2:
+        raise ValueError("silhouette requires at least 2 clusters")
+    if len(classes) >= len(labels):
+        raise ValueError("silhouette requires fewer clusters than samples")
+    distances = _pairwise_distances(embeddings)
+    n = len(labels)
+    scores = np.zeros(n)
+    members = {c: np.flatnonzero(labels == c) for c in classes}
+    for i in range(n):
+        own = members[labels[i]]
+        if len(own) == 1:
+            scores[i] = 0.0
+            continue
+        a_i = distances[i, own].sum() / (len(own) - 1)
+        b_i = np.inf
+        for c in classes:
+            if c == labels[i]:
+                continue
+            b_i = min(b_i, distances[i, members[c]].mean())
+        scores[i] = (b_i - a_i) / max(a_i, b_i)
+    return float(scores.mean())
+
+
+def calinski_harabasz_score(embeddings: np.ndarray, labels: np.ndarray) -> float:
+    """Ratio of between-cluster to within-cluster dispersion."""
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    labels = np.asarray(labels)
+    classes = np.unique(labels)
+    n, k = len(labels), len(classes)
+    if k < 2 or k >= n:
+        raise ValueError("calinski-harabasz requires 2 <= clusters < samples")
+    overall_mean = embeddings.mean(axis=0)
+    between = 0.0
+    within = 0.0
+    for c in classes:
+        cluster = embeddings[labels == c]
+        centroid = cluster.mean(axis=0)
+        between += len(cluster) * float(((centroid - overall_mean) ** 2).sum())
+        within += float(((cluster - centroid) ** 2).sum())
+    if within == 0:
+        return float("inf")
+    return float(between * (n - k) / (within * (k - 1)))

@@ -1,0 +1,27 @@
+"""Baseline models: trivial GNN classifiers, SEGNN, ProtGNN."""
+
+from .classifiers import (
+    ARMAClassifier,
+    ASDGNClassifier,
+    ClassifierResult,
+    GINClassifier,
+    UniMPClassifier,
+    build_model,
+    train_node_classifier,
+)
+from .protgnn import ProtGNN, ProtGNNResult
+from .segnn import SEGNN, SEGNNResult
+
+__all__ = [
+    "build_model",
+    "train_node_classifier",
+    "ClassifierResult",
+    "ARMAClassifier",
+    "GINClassifier",
+    "ASDGNClassifier",
+    "UniMPClassifier",
+    "SEGNN",
+    "SEGNNResult",
+    "ProtGNN",
+    "ProtGNNResult",
+]

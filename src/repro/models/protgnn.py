@@ -1,0 +1,170 @@
+"""ProtGNN re-implementation (Zhang et al., AAAI 2022) — prototype-based
+self-explainable GNN.
+
+A GCN encoder maps nodes to embeddings; ``m`` learnable prototypes per
+class live in the same space.  The classifier scores a node by its
+log-similarity to every prototype, and explanations are case-based: the
+training node each prototype was last *projected* onto.
+
+Losses follow the original: cross-entropy + cluster cost (pull embeddings
+towards an own-class prototype) + separation cost (push away from other-
+class prototypes).  Every ``project_every`` epochs prototypes snap to their
+nearest same-class training embedding (the projection step; the original's
+Monte-Carlo-tree-search subgraph extraction applies to graph-level tasks
+and is out of scope for node classification — the paper notes ProtGNN
+"cannot construct explainable subgraphs for node classification").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..graph import Graph
+from ..metrics import accuracy
+from ..nn import GraphEncoder
+from ..tensor import Adam, Tensor, as_tensor, functional as F, no_grad
+from ..utils import make_rng
+
+
+@dataclass
+class ProtGNNResult:
+    """Trained ProtGNN outputs."""
+
+    test_accuracy: float
+    val_accuracy: float
+    hidden: np.ndarray
+    predictions: np.ndarray
+    prototype_nodes: np.ndarray
+    """Training-node id each prototype is projected onto (the explanation)."""
+    losses: List[float]
+
+
+class ProtGNN:
+    """Prototype-layer node classifier."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        hidden: int = 128,
+        prototypes_per_class: int = 3,
+        cluster_weight: float = 0.1,
+        separation_weight: float = 0.05,
+        learning_rate: float = 3e-3,
+        project_every: int = 20,
+        seed: int = 0,
+    ) -> None:
+        if graph.labels is None or graph.train_mask is None:
+            raise ValueError("ProtGNN requires labels and split masks")
+        self.graph = graph
+        self.rng = make_rng(seed)
+        self.hidden = hidden
+        self.prototypes_per_class = prototypes_per_class
+        self.cluster_weight = cluster_weight
+        self.separation_weight = separation_weight
+        self.project_every = project_every
+        num_classes = graph.num_classes
+        self.encoder = GraphEncoder(
+            graph.num_features, hidden, hidden, backbone="gcn", dropout=0.2, rng=self.rng
+        )
+        total = num_classes * prototypes_per_class
+        self.prototypes = Tensor(
+            self.rng.normal(scale=0.5, size=(total, hidden)), requires_grad=True
+        )
+        self.prototype_classes = np.repeat(np.arange(num_classes), prototypes_per_class)
+        # Fixed readout: +1 for own-class prototypes, -0.5 otherwise
+        # (the original initialises this way and barely trains it).
+        readout = np.full((total, num_classes), -0.5)
+        readout[np.arange(total), self.prototype_classes] = 1.0
+        self._readout = as_tensor(readout)
+        self.optimizer = Adam(
+            self.encoder.parameters() + [self.prototypes], lr=learning_rate
+        )
+        self.prototype_nodes = np.full(total, -1, dtype=np.int64)
+        self._edge_index = graph.edge_index()
+
+    def _embed(self) -> Tensor:
+        _, z = self.encoder.forward_with_hidden(
+            Tensor(self.graph.features), self._edge_index, self.graph.num_nodes
+        )
+        return z
+
+    def _similarities(self, z: Tensor) -> Tensor:
+        """ProtGNN similarity ``log((d² + 1) / (d² + eps))`` to each prototype."""
+        z_sq = (z * z).sum(axis=1).reshape(-1, 1)
+        p_sq = (self.prototypes * self.prototypes).sum(axis=1).reshape(1, -1)
+        cross = z @ self.prototypes.T
+        dist_sq = (z_sq + p_sq - cross * 2.0).clip(low=0.0)
+        return ((dist_sq + 1.0) / (dist_sq + 1e-4)).log()
+
+    def _prototype_costs(self, z: Tensor) -> Tensor:
+        """Cluster + separation costs over labelled nodes (soft-min form)."""
+        graph = self.graph
+        train_nodes = np.flatnonzero(graph.train_mask)
+        sims = self._similarities(z)  # higher = closer
+        same = self.prototype_classes[None, :] == graph.labels[train_nodes][:, None]
+        sims_train = sims[train_nodes]
+        # Soft maximum of similarity to own-class prototypes (maximise it),
+        # computed with a numerically safe logsumexp over masked entries.
+        neg_inf = -1e9
+        own = F.where(same, sims_train, as_tensor(np.full(same.shape, neg_inf)))
+        other = F.where(~same, sims_train, as_tensor(np.full(same.shape, neg_inf)))
+        cluster_cost = -_logsumexp(own)
+        separation_cost = _logsumexp(other)
+        return cluster_cost * self.cluster_weight + separation_cost * self.separation_weight
+
+    def _project_prototypes(self, embeddings: np.ndarray) -> None:
+        """Snap each prototype to its nearest same-class training embedding."""
+        graph = self.graph
+        train_nodes = np.flatnonzero(graph.train_mask)
+        for p, cls in enumerate(self.prototype_classes):
+            candidates = train_nodes[graph.labels[train_nodes] == cls]
+            if len(candidates) == 0:
+                continue
+            distances = ((embeddings[candidates] - self.prototypes.data[p]) ** 2).sum(axis=1)
+            best = candidates[int(np.argmin(distances))]
+            self.prototypes.data[p] = embeddings[best]
+            self.prototype_nodes[p] = best
+
+    def fit(self, epochs: int = 100) -> ProtGNNResult:
+        graph = self.graph
+        losses: List[float] = []
+        for epoch in range(epochs):
+            self.encoder.train()
+            self.optimizer.zero_grad()
+            z = self._embed()
+            logits = self._similarities(z) @ self._readout
+            loss = F.cross_entropy(logits, graph.labels, mask=graph.train_mask)
+            loss = loss + self._prototype_costs(z)
+            loss.backward()
+            self.optimizer.step()
+            losses.append(loss.item())
+            if (epoch + 1) % self.project_every == 0:
+                self._project_prototypes(z.data)
+
+        self.encoder.eval()
+        with no_grad():
+            z = self._embed()
+            self._project_prototypes(z.data)
+            logits = self._similarities(z) @ self._readout
+        predictions = logits.data.argmax(axis=1)
+        return ProtGNNResult(
+            test_accuracy=accuracy(predictions, graph.labels, mask=graph.test_mask),
+            val_accuracy=(
+                accuracy(predictions, graph.labels, mask=graph.val_mask)
+                if graph.val_mask is not None and graph.val_mask.any()
+                else float("nan")
+            ),
+            hidden=z.data,
+            predictions=predictions,
+            prototype_nodes=self.prototype_nodes.copy(),
+            losses=losses,
+        )
+
+
+def _logsumexp(x: Tensor) -> "Tensor":
+    """Row-wise logsumexp, then mean — smooth max used by prototype costs."""
+    shifted = x - as_tensor(x.data.max(axis=1, keepdims=True))
+    return (shifted.exp().sum(axis=1).log() + as_tensor(x.data.max(axis=1))).mean()

@@ -1,0 +1,182 @@
+"""SEGNN re-implementation (Dai & Wang, CIKM 2021) — self-explainable
+classification by K-nearest labelled nodes.
+
+SEGNN classifies an unlabelled node by the labels of its ``K`` most similar
+*labelled* nodes, where similarity combines a learned node-embedding
+similarity with a local-structure similarity, and the retrieved exemplars
+double as the explanation.  Faithful-in-spirit simplifications (documented
+in DESIGN.md §5):
+
+* node similarity = cosine over a trained 2-layer GCN embedding;
+* structure similarity = neighbourhood Jaccard overlap (constant);
+* training minimises cross-entropy of the similarity-weighted vote of each
+  labelled node's K nearest labelled peers.
+
+The dense (nodes × labelled) similarity matrix reproduces the memory
+profile the paper criticises, and the exemplar search reproduces its
+inference cost (Table 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..graph import Graph
+from ..metrics import accuracy
+from ..tensor import Adam, Tensor, functional as F, no_grad
+from ..nn import GraphEncoder
+from ..utils import make_rng
+
+
+def _neighborhood_jaccard(graph: Graph, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Jaccard similarity of neighbour sets for rows × cols (constant)."""
+    adjacency = (graph.adjacency != 0).astype(np.float64)
+    sub_rows = adjacency[rows]
+    sub_cols = adjacency[cols]
+    intersections = np.asarray((sub_rows @ sub_cols.T).todense())
+    degree = np.asarray(adjacency.sum(axis=1)).ravel()
+    unions = degree[rows][:, None] + degree[cols][None, :] - intersections
+    unions[unions == 0] = 1.0
+    return intersections / unions
+
+
+@dataclass
+class SEGNNResult:
+    """Trained SEGNN with exemplar-based predictions."""
+
+    test_accuracy: float
+    val_accuracy: float
+    hidden: np.ndarray
+    predictions: np.ndarray
+    exemplars: Dict[int, np.ndarray]
+    """node → ids of its K nearest labelled nodes (the explanation)."""
+    losses: List[float]
+
+
+class SEGNN:
+    """Similarity-based self-explainable node classifier."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        hidden: int = 128,
+        k_nearest: int = 8,
+        structure_weight: float = 0.5,
+        learning_rate: float = 3e-3,
+        seed: int = 0,
+    ) -> None:
+        if graph.labels is None or graph.train_mask is None:
+            raise ValueError("SEGNN requires labels and split masks")
+        self.graph = graph
+        self.k_nearest = k_nearest
+        self.structure_weight = structure_weight
+        self.rng = make_rng(seed)
+        self.encoder = GraphEncoder(
+            graph.num_features, hidden, hidden, backbone="gcn", dropout=0.2, rng=self.rng
+        )
+        self.optimizer = Adam(self.encoder.parameters(), lr=learning_rate)
+        self.labeled = np.flatnonzero(graph.train_mask)
+        # Constant structural similarity between all nodes and labelled nodes.
+        self._structure_sim = _neighborhood_jaccard(
+            graph, np.arange(graph.num_nodes), self.labeled
+        )
+        self._edge_index = graph.edge_index()
+
+    def _embed(self) -> Tensor:
+        _, z = self.encoder.forward_with_hidden(
+            Tensor(self.graph.features), self._edge_index, self.graph.num_nodes
+        )
+        return z
+
+    def _similarity(self, z: Tensor) -> Tensor:
+        """Differentiable (N, L) combined similarity matrix."""
+        norms = ((z * z).sum(axis=1) + 1e-12).sqrt()
+        normalized = z / norms.reshape(-1, 1)
+        cosine = normalized @ normalized[self.labeled].T
+        return cosine + self.structure_weight * self._structure_sim
+
+    def _vote_logits(self, similarity: Tensor, exclude_self: bool) -> Tuple[Tensor, np.ndarray]:
+        """Class scores from the K most similar labelled nodes per row.
+
+        Top-K indices are selected on current (detached) similarities; the
+        scores stay differentiable through the retained entries.
+        """
+        graph = self.graph
+        sim_np = similarity.data.copy()
+        if exclude_self:
+            # A labelled node must not vote for itself during training.
+            position = {node: i for i, node in enumerate(self.labeled)}
+            for node in self.labeled:
+                sim_np[node, position[node]] = -np.inf
+        k = min(self.k_nearest, len(self.labeled) - (1 if exclude_self else 0))
+        top_cols = np.argsort(-sim_np, axis=1)[:, :k]
+        rows = np.repeat(np.arange(graph.num_nodes), k)
+        flat_cols = top_cols.ravel()
+        picked = similarity[rows, flat_cols].reshape(graph.num_nodes, k)
+        votes_by_class = []
+        exemplar_labels = graph.labels[self.labeled[flat_cols]].reshape(graph.num_nodes, k)
+        for c in range(graph.num_classes):
+            weight = (exemplar_labels == c).astype(np.float64)
+            votes_by_class.append((picked * weight).sum(axis=1))
+        logits = F.stack(votes_by_class, axis=1)
+        exemplars = self.labeled[top_cols]
+        return logits, exemplars
+
+    def fit(self, epochs: int = 60) -> SEGNNResult:
+        """Train the embedding so the exemplar vote classifies labelled nodes."""
+        graph = self.graph
+        losses: List[float] = []
+        for _ in range(epochs):
+            self.encoder.train()
+            self.optimizer.zero_grad()
+            z = self._embed()
+            similarity = self._similarity(z)
+            logits, _ = self._vote_logits(similarity, exclude_self=True)
+            loss = F.cross_entropy(logits, graph.labels, mask=graph.train_mask)
+            loss.backward()
+            self.optimizer.step()
+            losses.append(loss.item())
+
+        self.encoder.eval()
+        with no_grad():
+            z = self._embed()
+            similarity = self._similarity(z)
+            logits, exemplar_matrix = self._vote_logits(similarity, exclude_self=False)
+        predictions = logits.data.argmax(axis=1)
+        exemplars = {node: exemplar_matrix[node] for node in range(graph.num_nodes)}
+        self._last_embedding = z.data
+        return SEGNNResult(
+            test_accuracy=accuracy(predictions, graph.labels, mask=graph.test_mask),
+            val_accuracy=(
+                accuracy(predictions, graph.labels, mask=graph.val_mask)
+                if graph.val_mask is not None and graph.val_mask.any()
+                else float("nan")
+            ),
+            hidden=z.data,
+            predictions=predictions,
+            exemplars=exemplars,
+            losses=losses,
+        )
+
+    def edge_scores(self) -> Dict[Tuple[int, int], float]:
+        """Edge importances: embedding similarity of edge endpoints.
+
+        SEGNN explains through exemplars rather than edge masks; for the
+        Table 4 AUC protocol we follow its structure-matching idea and score
+        an edge by the (post-training) cosine similarity of its endpoints.
+        """
+        if not hasattr(self, "_last_embedding"):
+            raise RuntimeError("fit() must run before edge_scores()")
+        z = self._last_embedding
+        norms = np.sqrt((z * z).sum(axis=1)) + 1e-12
+        normalized = z / norms[:, None]
+        src, dst = self._edge_index
+        sims = (normalized[src] * normalized[dst]).sum(axis=1)
+        # Shift to [0, 1] so scores are comparable with mask-based methods.
+        sims = (sims + 1.0) / 2.0
+        return {
+            (int(u), int(v)): float(s) for u, v, s in zip(src, dst, sims)
+        }

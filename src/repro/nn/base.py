@@ -1,0 +1,122 @@
+"""Shared machinery for graph convolution layers.
+
+Every conv in :mod:`repro.nn` follows the same calling convention::
+
+    out = conv(x, edge_index, num_nodes, edge_weight=None)
+
+* ``x`` — ``(N, F)`` node-feature :class:`~repro.tensor.Tensor`.
+* ``edge_index`` — ``(2, E)`` numpy array of (source, destination) pairs.
+* ``edge_weight`` — optional ``(E,)`` :class:`Tensor` of differentiable
+  per-edge multipliers.  This is how the SES structure mask ``M̂_s ⊙ A``
+  (paper Eqs. 8/10) enters the aggregation: the structural normalisation
+  coefficients stay constant while the mask weights receive gradients.
+
+Layers cache per-``edge_index`` constants (self-looped indices, degree
+normalisation) keyed on the array's identity, since the topology is fixed
+throughout a training run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..graph.normalize import gcn_edge_norm
+from ..tensor import Module, Tensor, as_tensor, functional as F, gather_rows, segment_sum
+
+
+def add_self_loops(edge_index: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Append the ``N`` self-loop edges to ``edge_index``."""
+    loops = np.arange(num_nodes, dtype=np.int64)
+    return np.hstack([edge_index, np.vstack([loops, loops])])
+
+
+def extend_edge_weight(edge_weight: Optional[Tensor], num_nodes: int) -> Optional[Tensor]:
+    """Extend differentiable edge weights with unit self-loop weights."""
+    if edge_weight is None:
+        return None
+    ones = as_tensor(np.ones(num_nodes))
+    return F.concatenate([edge_weight, ones], axis=0)
+
+
+def extend_edge_weight_scaled(
+    edge_weight: Optional[Tensor], edge_index: np.ndarray, num_nodes: int
+) -> Optional[Tensor]:
+    """Extend mask weights with *mean-scaled* self-loop weights.
+
+    The self-loop of node ``v`` gets the mean of v's incident mask weights
+    (1 for isolated nodes).  Together with degree renormalisation this makes
+    the masked aggregation exactly invariant to a uniform rescaling of the
+    mask — the classification loss can only profit from the mask by
+    *re-ranking* neighbours, never by inflating or deflating all weights
+    (which would otherwise let it bypass the subgraph loss).
+    """
+    if edge_weight is None:
+        return None
+    dst = edge_index[1]
+    counts = np.bincount(dst, minlength=num_nodes).astype(np.float64)
+    isolated = counts == 0
+    safe_counts = np.maximum(counts, 1.0)
+    incoming_sum = segment_sum(edge_weight, dst, num_nodes)
+    self_weights = incoming_sum * as_tensor(1.0 / safe_counts)
+    if isolated.any():
+        self_weights = self_weights + as_tensor(isolated.astype(np.float64))
+    return F.concatenate([edge_weight, self_weights], axis=0)
+
+
+class GraphConv(Module):
+    """Abstract base conv providing the edge-constant cache."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._edge_cache: Dict[Tuple, Tuple] = {}
+
+    def _cached(self, edge_index: np.ndarray, builder, tag: str = "") -> Tuple:
+        # Key on content, not object identity: numpy reuses ids of collected
+        # arrays, and explainers feed many distinct subgraphs through the
+        # same conv.  Hashing the raw bytes is O(E) — negligible next to the
+        # aggregation itself.  ``tag`` separates callers that cache different
+        # artifacts for the same edge set (e.g. plain vs masked paths).
+        key = (tag, edge_index.shape[1], hash(edge_index.tobytes()))
+        if key not in self._edge_cache:
+            if len(self._edge_cache) > 8:
+                self._edge_cache.clear()
+            self._edge_cache[key] = builder()
+        return self._edge_cache[key]
+
+    def forward(
+        self,
+        x: Tensor,
+        edge_index: np.ndarray,
+        num_nodes: int,
+        edge_weight: Optional[Tensor] = None,
+    ) -> Tensor:
+        raise NotImplementedError
+
+
+def weighted_aggregate(
+    h: Tensor,
+    edge_index: np.ndarray,
+    num_nodes: int,
+    coefficients: np.ndarray,
+    edge_weight: Optional[Tensor],
+) -> Tensor:
+    """Aggregate ``sum_e coeff_e * w_e * h[src_e]`` onto destination nodes.
+
+    ``coefficients`` are constant structural terms; ``edge_weight`` is an
+    optional differentiable multiplier aligned with the same edges.
+    """
+    src, dst = edge_index
+    messages = gather_rows(h, src)
+    const = as_tensor(coefficients.reshape(-1, *([1] * (h.ndim - 1))))
+    messages = messages * const
+    if edge_weight is not None:
+        w = edge_weight.reshape(-1, *([1] * (h.ndim - 1)))
+        messages = messages * w
+    return segment_sum(messages, dst, num_nodes)
+
+
+def gcn_constants(edge_index: np.ndarray, num_nodes: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Self-looped edge index plus symmetric-normalisation coefficients."""
+    return gcn_edge_norm(edge_index, num_nodes)

@@ -1,0 +1,112 @@
+"""Graph Attention Network layer (Velickovic et al., 2018).
+
+Multi-head additive attention with LeakyReLU(0.2) scoring and per-
+destination softmax.  After every forward pass the layer stores the raw
+attention coefficients in :attr:`last_attention` — the ATT explainer
+(paper §5.2 baselines) reads edge importances from there.
+
+Optional differentiable ``edge_weight`` multiplies the attention
+coefficients after the softmax, which is how the SES structure mask scales
+neighbour contributions without being renormalised away.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import Tensor, as_tensor, functional as F, gather_rows, segment_softmax, segment_sum
+from ..tensor.init import xavier_uniform, xavier_uniform_shape, zeros_init
+from .base import GraphConv, add_self_loops, extend_edge_weight_scaled
+
+
+class GATConv(GraphConv):
+    """One multi-head GAT convolution.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        ``out_features`` is the *total* output width; it must be divisible
+        by ``heads`` when ``concat=True``.
+    heads:
+        Number of attention heads.
+    concat:
+        Concatenate head outputs (hidden layers) or average them (output
+        layer), following the original architecture.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        heads: int = 4,
+        concat: bool = True,
+        negative_slope: float = 0.2,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        if concat:
+            if out_features % heads:
+                raise ValueError(
+                    f"out_features={out_features} not divisible by heads={heads}"
+                )
+            self.head_dim = out_features // heads
+        else:
+            self.head_dim = out_features
+        self.in_features = in_features
+        self.out_features = out_features
+        self.heads = heads
+        self.concat = concat
+        self.negative_slope = negative_slope
+        self.weight = xavier_uniform(in_features, heads * self.head_dim, rng)
+        self.att_src = xavier_uniform_shape((heads, self.head_dim), rng)
+        self.att_dst = xavier_uniform_shape((heads, self.head_dim), rng)
+        self.bias = zeros_init((out_features,)) if bias else None
+        self.last_attention: Optional[np.ndarray] = None
+        self.last_edge_index: Optional[np.ndarray] = None
+
+    def forward(
+        self,
+        x: Tensor,
+        edge_index: np.ndarray,
+        num_nodes: int,
+        edge_weight: Optional[Tensor] = None,
+    ) -> Tensor:
+        full_index = self._cached(
+            edge_index, lambda: (add_self_loops(edge_index, num_nodes),)
+        )[0]
+        src, dst = full_index
+        h = (x @ self.weight).reshape(num_nodes, self.heads, self.head_dim)
+        # Additive attention: alpha_e = leakyrelu(a_s . h_src + a_d . h_dst).
+        score_src = (h * self.att_src).sum(axis=-1)  # (N, H)
+        score_dst = (h * self.att_dst).sum(axis=-1)
+        edge_scores = gather_rows(score_src, src) + gather_rows(score_dst, dst)
+        edge_scores = F.leaky_relu(edge_scores, self.negative_slope)
+        alpha = segment_softmax(edge_scores, dst, num_nodes)  # (E, H)
+        self.last_attention = alpha.data.copy()
+        self.last_edge_index = full_index
+        w = extend_edge_weight_scaled(edge_weight, edge_index, num_nodes)
+        if w is not None:
+            # Mask-reweighted attention, renormalised per destination so a
+            # uniform mask inflation cannot game the classification loss.
+            alpha = alpha * w.reshape(-1, 1)
+            totals = segment_sum(alpha, dst, num_nodes) + as_tensor(1e-9)
+            alpha = alpha / gather_rows(totals, dst)
+        messages = gather_rows(h, src) * alpha.reshape(-1, self.heads, 1)
+        out = segment_sum(messages, dst, num_nodes)  # (N, H, D)
+        if self.concat:
+            out = out.reshape(num_nodes, self.heads * self.head_dim)
+        else:
+            out = out.mean(axis=1)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def edge_attention_scores(self) -> np.ndarray:
+        """Head-averaged attention per edge of the last forward pass."""
+        if self.last_attention is None:
+            raise RuntimeError("run a forward pass before reading attention scores")
+        return self.last_attention.mean(axis=-1)

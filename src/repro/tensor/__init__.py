@@ -1,0 +1,48 @@
+"""From-scratch autograd stack: tensors, functionals, modules, optimisers.
+
+This subpackage replaces PyTorch for the SES reproduction.  Public surface:
+
+* :class:`Tensor`, :func:`as_tensor`, :class:`no_grad` — autograd core.
+* :mod:`repro.tensor.functional` (imported as ``F``) — activations/losses.
+* :func:`gather_rows`, :func:`segment_sum`, :func:`segment_mean`,
+  :func:`segment_softmax` — message-passing primitives.
+* :func:`spmm` — constant-sparse × dense product.
+* :class:`Module`, :class:`Linear`, :class:`MLP`, :class:`Sequential`,
+  :class:`Dropout` — NN building blocks.
+* :class:`SGD`, :class:`Adam` — optimisers.
+"""
+
+from . import functional
+from .init import xavier_uniform, xavier_uniform_shape, zeros_init
+from .module import MLP, Dropout, Linear, Module, Sequential
+from .optim import SGD, Adam, Optimizer
+from .scatter import gather_rows, segment_mean, segment_softmax, segment_sum
+from .sparse import spmm
+from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad, ones, unbroadcast, zeros
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "unbroadcast",
+    "zeros",
+    "ones",
+    "functional",
+    "gather_rows",
+    "segment_sum",
+    "segment_mean",
+    "segment_softmax",
+    "spmm",
+    "Module",
+    "Linear",
+    "MLP",
+    "Sequential",
+    "Dropout",
+    "xavier_uniform",
+    "xavier_uniform_shape",
+    "zeros_init",
+    "Optimizer",
+    "SGD",
+    "Adam",
+]

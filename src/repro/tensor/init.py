@@ -1,0 +1,33 @@
+"""Parameter initialisers.
+
+The paper (Algorithm 2, step 1) initialises both the graph encoder and the
+mask generator with Xavier/Glorot initialisation, so that is the default
+throughout the reproduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def xavier_uniform(fan_in: int, fan_out: int, rng: np.random.Generator, gain: float = 1.0) -> Tensor:
+    """Glorot/Xavier uniform initialisation for a ``(fan_in, fan_out)`` matrix."""
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return Tensor(rng.uniform(-bound, bound, size=(fan_in, fan_out)), requires_grad=True)
+
+
+def xavier_uniform_shape(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> Tensor:
+    """Xavier uniform for arbitrary shapes (fans taken from the last two dims)."""
+    if len(shape) == 1:
+        fan_in = fan_out = shape[0]
+    else:
+        fan_in, fan_out = shape[-2], shape[-1]
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return Tensor(rng.uniform(-bound, bound, size=shape), requires_grad=True)
+
+
+def zeros_init(shape: tuple) -> Tensor:
+    """Zero initialisation (biases)."""
+    return Tensor(np.zeros(shape), requires_grad=True)

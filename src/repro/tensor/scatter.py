@@ -1,0 +1,85 @@
+"""Gather / segment primitives for differentiable message passing.
+
+Graph convolutions in this reproduction are expressed in the classic
+gather–scatter idiom: gather source-node rows along the edge list, transform
+per edge, then segment-sum back onto destination nodes.  Because the SES
+structure mask multiplies per-edge weights inside this pipeline (paper
+Eq. 8), all three primitives must be differentiable — including with respect
+to the edge weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+
+def gather_rows(x: Tensor, index: np.ndarray) -> Tensor:
+    """Select rows ``x[index]``; the adjoint scatter-adds into the source.
+
+    ``index`` may repeat (it is typically the source column of an edge
+    list), so the backward uses ``np.add.at`` to accumulate duplicates.
+    """
+    index = np.asarray(index, dtype=np.int64)
+    out_data = x.data[index]
+    n_rows = x.shape[0]
+    trailing = x.shape[1:]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros((n_rows, *trailing), dtype=np.float64)
+        np.add.at(full, index, grad)
+        x._accumulate(full)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``x`` into ``num_segments`` buckets given by ``segment_ids``.
+
+    The forward is the scatter-add of message passing; its adjoint is a
+    plain gather.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if segment_ids.shape[0] != x.shape[0]:
+        raise ValueError(
+            f"segment_ids has {segment_ids.shape[0]} entries for {x.shape[0]} rows"
+        )
+    out_data = np.zeros((num_segments, *x.shape[1:]), dtype=np.float64)
+    np.add.at(out_data, segment_ids, x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad[segment_ids])
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def segment_mean(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Average rows per segment (GraphSAGE's mean aggregator).
+
+    Empty segments produce zero rows rather than NaNs.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    counts = np.maximum(counts, 1.0)
+    summed = segment_sum(x, segment_ids, num_segments)
+    shape = (num_segments,) + (1,) * (x.ndim - 1)
+    return summed * as_tensor(1.0 / counts.reshape(shape))
+
+
+def segment_softmax(scores: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Softmax over edges grouped by destination node (GAT attention).
+
+    ``scores`` may be ``(E,)`` or ``(E, H)`` for multi-head attention.
+    Composed from differentiable primitives so the adjoint is exact: the
+    per-segment max is subtracted as a constant for numerical stability
+    (subtracting a constant does not change softmax or its gradient).
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    seg_max = np.full((num_segments, *scores.shape[1:]), -np.inf)
+    np.maximum.at(seg_max, segment_ids, scores.data)
+    seg_max[~np.isfinite(seg_max)] = 0.0
+    shifted = scores - as_tensor(seg_max[segment_ids])
+    exp = shifted.exp()
+    denom = segment_sum(exp, segment_ids, num_segments)
+    return exp / gather_rows(denom, segment_ids)

@@ -1,0 +1,40 @@
+"""Sparse-dense products for constant graph operators.
+
+When a conv uses a *fixed* normalised adjacency (no structure mask), the
+aggregation is a sparse-matrix/dense-matrix product with the sparse operand
+held constant.  The adjoint with respect to the dense operand is then simply
+``A.T @ grad``, which :func:`spmm` implements.  Masked aggregations — where
+edge weights require gradients — go through :mod:`repro.tensor.scatter`
+instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .tensor import Tensor
+
+
+def spmm(matrix: sp.spmatrix, x: Tensor) -> Tensor:
+    """Multiply a constant scipy sparse matrix with a dense tensor.
+
+    Parameters
+    ----------
+    matrix:
+        ``(M, N)`` scipy sparse matrix treated as a constant (no gradient).
+    x:
+        ``(N, F)`` or ``(N,)`` dense tensor.
+    """
+    if matrix.shape[1] != x.shape[0]:
+        raise ValueError(
+            f"sparse matrix has {matrix.shape[1]} columns, tensor has {x.shape[0]} rows"
+        )
+    csr = matrix.tocsr()
+    out_data = csr @ x.data
+    transposed = csr.T.tocsr()
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(transposed @ grad)
+
+    return Tensor._make(np.asarray(out_data), (x,), backward)

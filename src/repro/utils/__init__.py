@@ -1,0 +1,20 @@
+"""Shared utilities: seeding, timing, logging, validation."""
+
+from .logging import format_table, get_logger
+from .seed import make_rng, split_rng
+from .timing import Stopwatch, format_duration, timed
+from .validation import check_labels, check_positive, check_positive_int, check_probability
+
+__all__ = [
+    "make_rng",
+    "split_rng",
+    "Stopwatch",
+    "timed",
+    "format_duration",
+    "get_logger",
+    "format_table",
+    "check_probability",
+    "check_positive",
+    "check_positive_int",
+    "check_labels",
+]

@@ -1,0 +1,54 @@
+"""Wall-clock timing used by the paper's time-consumption experiments.
+
+Tables 6–8 of the paper report explanation-generation and pair-construction
+times; :class:`Stopwatch` and :func:`timed` collect the equivalent CPU
+wall-clock numbers here.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock durations."""
+
+    durations: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, label: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.durations[label] = self.durations.get(label, 0.0) + elapsed
+
+    def total(self) -> float:
+        return sum(self.durations.values())
+
+    def report(self) -> str:
+        lines = [f"  {label}: {seconds:.3f}s" for label, seconds in self.durations.items()]
+        return "\n".join(lines)
+
+
+def timed(fn: Callable[[], T]) -> Tuple[T, float]:
+    """Run ``fn`` and return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def format_duration(seconds: float) -> str:
+    """Human format matching the paper's tables ('1 min 13s', '4.3s')."""
+    if seconds >= 60:
+        minutes = int(seconds // 60)
+        rest = seconds - 60 * minutes
+        return f"{minutes} min {rest:.0f}s"
+    return f"{seconds:.2f}s" if seconds < 10 else f"{seconds:.1f}s"

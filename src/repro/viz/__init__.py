@@ -1,0 +1,5 @@
+"""Dependency-free SVG figure rendering."""
+
+from .svg import PALETTE, bar_chart_svg, heatmap_svg, line_chart_svg, scatter_svg
+
+__all__ = ["scatter_svg", "heatmap_svg", "line_chart_svg", "bar_chart_svg", "PALETTE"]

@@ -1,0 +1,75 @@
+"""Shared fixtures: small deterministic graphs and a numeric grad-checker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.datasets import ba_shapes, cora_like
+from repro.graph import Graph, classification_split, explanation_split
+
+
+def numeric_gradient(fn, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``array`` in place."""
+    grad = np.zeros_like(array)
+    iterator = np.nditer(array, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = array[index]
+        array[index] = original + eps
+        plus = fn()
+        array[index] = original - eps
+        minus = fn()
+        array[index] = original
+        grad[index] = (plus - minus) / (2 * eps)
+        iterator.iternext()
+    return grad
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_graph() -> Graph:
+    """Deterministic 8-node graph with two obvious communities."""
+    edges = np.array(
+        [
+            (0, 1), (0, 2), (1, 2), (2, 3),   # community A
+            (4, 5), (4, 6), (5, 6), (6, 7),   # community B
+            (3, 4),                            # bridge
+        ]
+    )
+    features = np.zeros((8, 4))
+    features[:4, 0] = 1.0
+    features[4:, 1] = 1.0
+    features[:, 2] = np.arange(8) / 8.0
+    labels = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+    graph = Graph.from_edges(8, edges, features=features, labels=labels, name="tiny")
+    graph.train_mask = np.array([1, 1, 0, 1, 1, 0, 1, 1], dtype=bool)
+    graph.val_mask = np.array([0, 0, 1, 0, 0, 0, 0, 0], dtype=bool)
+    graph.test_mask = np.array([0, 0, 0, 0, 0, 1, 0, 0], dtype=bool)
+    return graph
+
+
+@pytest.fixture(scope="session")
+def small_cora() -> Graph:
+    """A 150-node citation surrogate with a 60/20/20 split."""
+    graph = cora_like(num_nodes=150, num_classes=4, feature_dim=60, seed=3)
+    return classification_split(graph, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_motif_graph() -> Graph:
+    """A scaled-down BAShapes with ground-truth motif edges."""
+    graph = ba_shapes(base_nodes=60, num_motifs=12, noise_fraction=0.05, seed=7)
+    return explanation_split(graph, seed=7)
+
+
+@pytest.fixture()
+def random_sparse_adjacency(rng) -> sp.csr_matrix:
+    matrix = sp.random(20, 20, density=0.15, random_state=99)
+    matrix = ((matrix + matrix.T) > 0).astype(np.float64)
+    return sp.csr_matrix(matrix)

@@ -1,0 +1,95 @@
+"""Unit tests for the experiment harnesses' helper functions."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig5 import ascii_scatter
+from repro.experiments.fig6 import motif_recovery_precision
+from repro.experiments.fig8 import _ranked_neighbors, same_class_precision
+from repro.experiments.table8 import _negative_sets_for, _random_sparse_graph
+from repro.graph import Graph
+
+
+@pytest.fixture()
+def motif_graph():
+    """4-node path with a labelled 'motif' edge (1, 2)."""
+    graph = Graph.from_edges(
+        4, np.array([(0, 1), (1, 2), (2, 3)]), labels=np.array([0, 1, 1, 0])
+    )
+    graph.extra["gt_edge_mask"] = {(1, 2): 1.0, (2, 1): 1.0}
+    graph.extra["motif_nodes"] = np.array([1, 2])
+    return graph
+
+
+class TestFig6Helpers:
+    def test_perfect_scores_give_full_precision(self, motif_graph):
+        scores = {(1, 2): 0.9, (2, 1): 0.9, (0, 1): 0.1, (1, 0): 0.1,
+                  (2, 3): 0.1, (3, 2): 0.1}
+        precision = motif_recovery_precision(scores, motif_graph, np.array([1]), hops=1)
+        assert precision == 1.0
+
+    def test_inverted_scores_give_zero_precision(self, motif_graph):
+        scores = {(1, 2): 0.1, (2, 1): 0.1, (0, 1): 0.9, (1, 0): 0.9,
+                  (2, 3): 0.9, (3, 2): 0.9}
+        precision = motif_recovery_precision(scores, motif_graph, np.array([1]), hops=1)
+        assert precision == 0.0
+
+    def test_nodes_without_mixed_candidates_skipped(self, motif_graph):
+        precision = motif_recovery_precision({}, motif_graph, np.array([]), hops=1)
+        assert np.isnan(precision)
+
+
+class TestFig8Helpers:
+    def test_ranked_neighbors_order(self, motif_graph):
+        scores = {(1, 0): 0.9, (1, 2): 0.3}
+        ranked = _ranked_neighbors(scores, motif_graph, 1)
+        assert ranked == [0, 2]
+
+    def test_ranked_neighbors_uses_both_directions(self, motif_graph):
+        scores = {(2, 1): 0.8}  # only the reverse direction scored
+        ranked = _ranked_neighbors(scores, motif_graph, 1)
+        assert ranked[0] == 2
+
+    def test_same_class_precision(self, motif_graph):
+        # Probe 1 (class 1): neighbour 2 same class, neighbour 0 different.
+        scores = {(1, 2): 0.9, (1, 0): 0.1}
+        assert same_class_precision(scores, motif_graph, np.array([1]), k=1) == 1.0
+        scores = {(1, 2): 0.1, (1, 0): 0.9}
+        assert same_class_precision(scores, motif_graph, np.array([1]), k=1) == 0.0
+
+
+class TestTable8Helpers:
+    def test_random_sparse_graph_edge_budget(self):
+        rng = np.random.default_rng(0)
+        adjacency = _random_sparse_graph(500, rng)
+        assert adjacency.shape == (500, 500)
+        # ~2N undirected edges => ~4N directed entries (minus collisions).
+        assert 2 * 500 <= adjacency.nnz <= 4 * 500 + 100
+
+    def test_negative_sets_match_degrees(self):
+        rng = np.random.default_rng(0)
+        adjacency = _random_sparse_graph(100, rng)
+        negatives = _negative_sets_for(adjacency, rng)
+        degrees = np.diff(adjacency.indptr)
+        for node, negs in negatives.items():
+            assert len(negs) == degrees[node]
+
+
+class TestFig5Helpers:
+    def test_ascii_scatter_dimensions(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(30, 2))
+        labels = rng.integers(0, 3, size=30)
+        art = ascii_scatter(points, labels, width=40, height=10)
+        lines = art.split("\n")
+        assert len(lines) == 10
+        assert all(len(line) == 40 for line in lines)
+
+    def test_ascii_scatter_uses_class_glyphs(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        art = ascii_scatter(points, np.array([0, 1]), width=10, height=5)
+        assert "0" in art and "1" in art
+
+    def test_degenerate_single_point(self):
+        art = ascii_scatter(np.zeros((1, 2)), np.array([2]), width=5, height=3)
+        assert "2" in art

@@ -1,0 +1,83 @@
+"""Tests for the occlusion and random explainer baselines."""
+
+import numpy as np
+import pytest
+
+from repro.explainers import (
+    OcclusionExplainer,
+    RandomExplainer,
+    evaluate_edge_auc,
+    sample_motif_nodes,
+)
+from repro.models import train_node_classifier
+
+
+@pytest.fixture(scope="module")
+def trained(small_motif_graph):
+    return train_node_classifier(
+        small_motif_graph, "gcn", hidden=24, epochs=150, dropout=0.1, seed=0
+    )
+
+
+class TestOcclusion:
+    def test_scores_nonnegative(self, trained, small_motif_graph):
+        explainer = OcclusionExplainer(trained.model, small_motif_graph)
+        node = int(small_motif_graph.extra["motif_nodes"][0])
+        explanation = explainer.explain_node(node)
+        assert all(v >= 0 for v in explanation.edge_scores.values())
+        assert (explanation.feature_scores >= 0).all()
+
+    def test_undirected_pairs_share_score(self, trained, small_motif_graph):
+        explainer = OcclusionExplainer(trained.model, small_motif_graph)
+        node = int(small_motif_graph.extra["motif_nodes"][0])
+        scores = explainer.explain_node(node).edge_scores
+        for (u, v), value in scores.items():
+            assert scores[(v, u)] == value
+
+    def test_beats_random_on_motifs(self, trained, small_motif_graph):
+        rng = np.random.default_rng(0)
+        nodes = sample_motif_nodes(small_motif_graph, 6, rng)
+        occlusion = OcclusionExplainer(trained.model, small_motif_graph)
+        random = RandomExplainer(trained.model, small_motif_graph, seed=0)
+        occlusion_auc = evaluate_edge_auc(
+            occlusion.edge_scores(nodes), small_motif_graph, nodes
+        )
+        random_auc = evaluate_edge_auc(
+            random.edge_scores(), small_motif_graph, nodes
+        )
+        assert occlusion_auc > random_auc
+
+    def test_isolated_node(self, trained):
+        from repro.graph import Graph
+
+        lonely = Graph.from_edges(2, np.zeros((0, 2)), features=np.ones((2, 10)))
+        explainer = OcclusionExplainer(trained.model, lonely)
+        explanation = explainer.explain_node(0)
+        assert explanation.edge_scores == {}
+
+    def test_feature_cap_respected(self, trained, small_motif_graph):
+        explainer = OcclusionExplainer(
+            trained.model, small_motif_graph, max_features=2
+        )
+        node = int(small_motif_graph.extra["motif_nodes"][0])
+        explanation = explainer.explain_node(node)
+        assert (explanation.feature_scores > 0).sum() <= 2
+
+
+class TestRandom:
+    def test_scores_cover_all_edges(self, trained, small_motif_graph):
+        explainer = RandomExplainer(trained.model, small_motif_graph, seed=0)
+        assert len(explainer.edge_scores()) == small_motif_graph.num_edges
+
+    def test_auc_near_half(self, trained, small_motif_graph):
+        rng = np.random.default_rng(0)
+        nodes = sample_motif_nodes(small_motif_graph, 10, rng)
+        aucs = [
+            evaluate_edge_auc(
+                RandomExplainer(trained.model, small_motif_graph, seed=s).edge_scores(),
+                small_motif_graph,
+                nodes,
+            )
+            for s in range(5)
+        ]
+        assert 0.3 < np.mean(aucs) < 0.7

@@ -1,0 +1,134 @@
+"""Unit tests for negative sampling and dataset splits."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    apply_split,
+    classification_split,
+    explanation_split,
+    khop_adjacency,
+    negative_edge_index,
+    random_split,
+    relational_neighbor_sets,
+    sample_negative_sets,
+)
+
+
+def _community_graph() -> Graph:
+    edges = np.array([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+    labels = np.array([0, 0, 0, 1, 1, 1])
+    graph = Graph.from_edges(6, edges, labels=labels)
+    graph.train_mask = np.ones(6, dtype=bool)
+    return graph
+
+
+class TestNegativeSampling:
+    def test_negatives_disjoint_from_khop(self):
+        graph = _community_graph()
+        rng = np.random.default_rng(0)
+        negatives = sample_negative_sets(graph, 1, rng)
+        reach = khop_adjacency(graph, 1)
+        for node, negs in negatives.items():
+            neighbors = set(reach.indices[reach.indptr[node]: reach.indptr[node + 1]].tolist())
+            assert not set(negs.tolist()) & neighbors
+            assert node not in negs
+
+    def test_sizes_match_neighborhoods(self):
+        graph = _community_graph()
+        negatives = sample_negative_sets(graph, 1, np.random.default_rng(0))
+        sets = relational_neighbor_sets(graph, 1)
+        for node, negs in negatives.items():
+            assert len(negs) <= len(sets[node])
+
+    def test_label_preference(self):
+        graph = _community_graph()
+        negatives = sample_negative_sets(graph, 1, np.random.default_rng(0))
+        # Node 0 (class 0) should mostly receive class-1 negatives.
+        labels = graph.labels[negatives[0]]
+        assert (labels == 1).all()
+
+    def test_max_per_node_cap(self):
+        graph = _community_graph()
+        negatives = sample_negative_sets(
+            graph, 2, np.random.default_rng(0), max_per_node=1
+        )
+        assert all(len(negs) <= 1 for negs in negatives.values())
+
+    def test_no_labels_still_samples(self):
+        edges = np.array([(0, 1), (2, 3)])
+        graph = Graph.from_edges(5, edges)
+        negatives = sample_negative_sets(graph, 1, np.random.default_rng(0), use_labels=False)
+        assert len(negatives[0]) == 1
+
+    def test_negative_edge_index_shape(self):
+        graph = _community_graph()
+        negatives = sample_negative_sets(graph, 1, np.random.default_rng(0))
+        pairs = negative_edge_index(negatives)
+        assert pairs.shape[0] == 2
+        total = sum(len(v) for v in negatives.values())
+        assert pairs.shape[1] == total
+
+    def test_negative_edge_index_empty(self):
+        assert negative_edge_index({0: np.empty(0, dtype=np.int64)}).shape == (2, 0)
+
+    def test_test_labels_not_used(self):
+        """Negatives must not exploit labels outside the training mask."""
+        edges = [(i, (i + 1) % 12) for i in range(12)]
+        labels = np.array([0, 1] * 6)
+        graph = Graph.from_edges(12, np.array(edges), labels=labels)
+        graph.train_mask = np.zeros(12, dtype=bool)  # nothing is labelled
+        rng = np.random.default_rng(0)
+        negatives = sample_negative_sets(graph, 1, rng)
+        # With no usable labels the sampler must still return full sets.
+        assert all(len(v) > 0 for v in negatives.values())
+
+
+class TestSplits:
+    def test_partition_covers_all_nodes(self):
+        train, val, test = random_split(100, 0.6, 0.2, np.random.default_rng(0))
+        combined = train.astype(int) + val.astype(int) + test.astype(int)
+        np.testing.assert_array_equal(combined, np.ones(100, dtype=int))
+
+    def test_fractions_approximate(self):
+        train, val, test = random_split(1000, 0.6, 0.2, np.random.default_rng(0))
+        assert abs(train.mean() - 0.6) < 0.02
+        assert abs(val.mean() - 0.2) < 0.02
+
+    def test_stratified_keeps_class_balance(self):
+        labels = np.array([0] * 80 + [1] * 20)
+        train, _, _ = random_split(100, 0.5, 0.2, np.random.default_rng(0), stratify=labels)
+        train_labels = labels[train]
+        assert abs((train_labels == 1).mean() - 0.2) < 0.06
+
+    def test_invalid_fractions(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_split(10, 0.0, 0.2, rng)
+        with pytest.raises(ValueError):
+            random_split(10, 0.8, 0.3, rng)
+
+    def test_apply_split_sets_masks(self):
+        graph = _community_graph()
+        apply_split(graph, 0.5, 0.2, seed=1)
+        assert graph.train_mask.sum() >= 1
+        assert (graph.train_mask & graph.val_mask).sum() == 0
+
+    def test_classification_split_ratio(self):
+        graph = Graph.from_edges(200, np.array([(i, i + 1) for i in range(199)]),
+                                 labels=np.zeros(200, dtype=int))
+        classification_split(graph, seed=0)
+        assert abs(graph.train_mask.mean() - 0.6) < 0.05
+
+    def test_explanation_split_ratio(self):
+        graph = Graph.from_edges(200, np.array([(i, i + 1) for i in range(199)]),
+                                 labels=np.zeros(200, dtype=int))
+        explanation_split(graph, seed=0)
+        assert abs(graph.train_mask.mean() - 0.8) < 0.05
+
+    def test_deterministic_given_seed(self):
+        a = random_split(50, 0.6, 0.2, np.random.default_rng(7))
+        b = random_split(50, 0.6, 0.2, np.random.default_rng(7))
+        for mask_a, mask_b in zip(a, b):
+            np.testing.assert_array_equal(mask_a, mask_b)

@@ -1,0 +1,114 @@
+"""Unit tests for gather/segment primitives."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, gather_rows, segment_mean, segment_softmax, segment_sum
+from tests.conftest import numeric_gradient
+
+
+class TestGatherRows:
+    def test_forward(self):
+        x = Tensor(np.arange(6.0).reshape(3, 2))
+        out = gather_rows(x, np.array([2, 0]))
+        np.testing.assert_allclose(out.data, [[4.0, 5.0], [0.0, 1.0]])
+
+    def test_duplicate_indices_accumulate(self):
+        x = Tensor(np.ones((3, 2)), requires_grad=True)
+        gather_rows(x, np.array([1, 1, 1])).sum().backward()
+        np.testing.assert_allclose(x.grad[1], [3.0, 3.0])
+        np.testing.assert_allclose(x.grad[0], [0.0, 0.0])
+
+    def test_1d_input(self):
+        x = Tensor(np.array([10.0, 20.0, 30.0]), requires_grad=True)
+        out = gather_rows(x, np.array([2, 2]))
+        np.testing.assert_allclose(out.data, [30.0, 30.0])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 0.0, 2.0])
+
+    def test_3d_input(self):
+        x = Tensor(np.zeros((4, 2, 3)))
+        assert gather_rows(x, np.array([0, 3])).shape == (2, 2, 3)
+
+
+class TestSegmentSum:
+    def test_forward(self):
+        x = Tensor(np.array([[1.0], [2.0], [4.0]]))
+        out = segment_sum(x, np.array([0, 0, 1]), 3)
+        np.testing.assert_allclose(out.data, [[3.0], [4.0], [0.0]])
+
+    def test_gradient_is_gather(self):
+        x = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = segment_sum(x, np.array([1, 1, 0]), 2)
+        (out * Tensor([[1.0, 1.0], [5.0, 5.0]])).sum().backward()
+        np.testing.assert_allclose(x.grad, [[5.0, 5.0], [5.0, 5.0], [1.0, 1.0]])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            segment_sum(Tensor(np.ones((3, 1))), np.array([0, 1]), 2)
+
+    def test_empty_segments_are_zero(self):
+        out = segment_sum(Tensor(np.ones((2, 1))), np.array([0, 0]), 4)
+        np.testing.assert_allclose(out.data[1:], 0.0)
+
+
+class TestSegmentMean:
+    def test_forward(self):
+        x = Tensor(np.array([[2.0], [4.0], [10.0]]))
+        out = segment_mean(x, np.array([0, 0, 1]), 2)
+        np.testing.assert_allclose(out.data, [[3.0], [10.0]])
+
+    def test_empty_segment_yields_zero_not_nan(self):
+        out = segment_mean(Tensor(np.ones((1, 2))), np.array([0]), 3)
+        assert np.isfinite(out.data).all()
+        np.testing.assert_allclose(out.data[1], [0.0, 0.0])
+
+    def test_gradient(self, rng):
+        x = Tensor(rng.normal(size=(5, 2)), requires_grad=True)
+        ids = np.array([0, 0, 1, 1, 1])
+
+        def run():
+            return (segment_mean(x, ids, 2) ** 2).sum()
+
+        run().backward()
+        np.testing.assert_allclose(
+            x.grad, numeric_gradient(lambda: run().item(), x.data), atol=1e-6
+        )
+
+
+class TestSegmentSoftmax:
+    def test_sums_to_one_per_segment(self, rng):
+        scores = Tensor(rng.normal(size=8))
+        ids = np.array([0, 0, 0, 1, 1, 2, 2, 2])
+        out = segment_softmax(scores, ids, 3)
+        for segment in range(3):
+            np.testing.assert_allclose(out.data[ids == segment].sum(), 1.0)
+
+    def test_multihead_shape(self, rng):
+        scores = Tensor(rng.normal(size=(6, 4)))
+        ids = np.array([0, 0, 1, 1, 2, 2])
+        out = segment_softmax(scores, ids, 3)
+        assert out.shape == (6, 4)
+        np.testing.assert_allclose(out.data[:2].sum(axis=0), np.ones(4))
+
+    def test_stable_with_large_scores(self):
+        scores = Tensor(np.array([1000.0, 999.0]))
+        out = segment_softmax(scores, np.array([0, 0]), 1)
+        assert np.isfinite(out.data).all()
+
+    def test_numeric_gradient(self, rng):
+        scores = Tensor(rng.normal(size=7), requires_grad=True)
+        ids = np.array([0, 0, 1, 1, 1, 2, 2])
+        weights = rng.normal(size=7)
+
+        def run():
+            return (segment_softmax(scores, ids, 3) * weights).sum()
+
+        run().backward()
+        np.testing.assert_allclose(
+            scores.grad, numeric_gradient(lambda: run().item(), scores.data), atol=1e-6
+        )
+
+    def test_single_element_segment_is_one(self):
+        out = segment_softmax(Tensor(np.array([-5.0])), np.array([0]), 1)
+        np.testing.assert_allclose(out.data, [1.0])

@@ -1,0 +1,100 @@
+"""Tests for the graph-level extension (disjoint-union batching + SES-G)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.graphlevel import GraphSES, make_batch, motif_presence_dataset
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return motif_presence_dataset(num_graphs=24, base_nodes=12, seed=0)
+
+
+class TestBatching:
+    def test_union_counts(self):
+        a = Graph.from_edges(3, np.array([(0, 1), (1, 2)]), features=np.ones((3, 2)))
+        b = Graph.from_edges(2, np.array([(0, 1)]), features=np.ones((2, 2)))
+        merged = make_batch([a, b], [0, 1])
+        assert merged.num_graphs == 2
+        assert merged.num_nodes == 5
+        assert merged.edge_index.shape[1] == a.num_edges + b.num_edges
+
+    def test_edges_offset_into_blocks(self):
+        a = Graph.from_edges(3, np.array([(0, 1)]), features=np.ones((3, 2)))
+        b = Graph.from_edges(3, np.array([(0, 2)]), features=np.ones((3, 2)))
+        merged = make_batch([a, b], [0, 1])
+        # b's edges must live in node ids 3..5.
+        second_block = merged.edge_index[:, merged.graph_ids[merged.edge_index[0]] == 1]
+        assert second_block.min() >= 3
+
+    def test_graph_ids_partition_nodes(self, batch):
+        for graph_index in range(batch.num_graphs):
+            nodes = batch.nodes_of(graph_index)
+            assert (batch.graph_ids[nodes] == graph_index).all()
+
+    def test_label_count_mismatch(self):
+        a = Graph.from_edges(2, np.array([(0, 1)]), features=np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            make_batch([a], [0, 1])
+
+
+class TestMotifPresenceDataset:
+    def test_balanced_classes(self, batch):
+        assert abs(batch.labels.mean() - 0.5) < 0.05
+
+    def test_equal_node_budgets(self, batch):
+        sizes = [g.num_nodes for g in batch.graphs]
+        assert len(set(sizes)) == 1
+
+    def test_ground_truth_only_for_positives(self, batch):
+        gt = batch.extra["gt_edges"]
+        for graph_index in gt:
+            assert batch.labels[graph_index] == 1
+
+    def test_ground_truth_edges_exist(self, batch):
+        gt = batch.extra["gt_edges"]
+        edge_set = set(zip(batch.edge_index[0].tolist(), batch.edge_index[1].tolist()))
+        for edges in gt.values():
+            assert edges <= edge_set
+
+    def test_invalid_motif(self):
+        with pytest.raises(ValueError):
+            motif_presence_dataset(motif="clique")
+
+
+class TestGraphSES:
+    def test_learns_motif_presence(self, batch):
+        result = GraphSES(batch, hidden=24, seed=0).fit(epochs=100)
+        assert result.train_accuracy >= 0.9
+        assert result.test_accuracy >= 0.7
+
+    def test_explanations_better_than_random(self, batch):
+        result = GraphSES(batch, hidden=24, seed=0).fit(epochs=100)
+        gt = batch.extra["gt_edges"]
+        rng = np.random.default_rng(0)
+        precisions, random_precisions = [], []
+        for graph_index, truth in gt.items():
+            top = [edge for edge, _ in result.explanations[graph_index][:6]]
+            precisions.append(np.mean([edge in truth for edge in top]))
+            member = batch.graph_ids[batch.edge_index[0]] == graph_index
+            columns = np.flatnonzero(member)
+            pick = rng.choice(columns, size=min(6, len(columns)), replace=False)
+            random_edges = [
+                (int(batch.edge_index[0, c]), int(batch.edge_index[1, c])) for c in pick
+            ]
+            random_precisions.append(np.mean([edge in truth for edge in random_edges]))
+        assert np.mean(precisions) > np.mean(random_precisions)
+
+    def test_explain_graph_stays_within_graph(self, batch):
+        ses = GraphSES(batch, hidden=16, seed=0)
+        ses.fit(epochs=20)
+        for graph_index in (0, 1):
+            nodes = set(batch.nodes_of(graph_index).tolist())
+            for (u, v), _ in ses.explain_graph(graph_index):
+                assert u in nodes and v in nodes
+
+    def test_losses_decrease(self, batch):
+        result = GraphSES(batch, hidden=16, seed=0).fit(epochs=40)
+        assert result.losses[-1] < result.losses[0]

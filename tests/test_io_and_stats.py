@@ -1,0 +1,136 @@
+"""Tests for serialisation (repro.io) and graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro import io
+from repro.graph import (
+    Graph,
+    connected_components,
+    degree_gini,
+    edge_homophily,
+    feature_class_correlation,
+    profile_graph,
+)
+from repro.nn import GraphEncoder
+from repro.tensor import Tensor
+
+
+class TestGraphRoundtrip:
+    def test_topology_and_features(self, tmp_path, small_cora):
+        path = tmp_path / "graph.npz"
+        io.save_graph(small_cora, path)
+        loaded = io.load_graph(path)
+        assert loaded.num_nodes == small_cora.num_nodes
+        assert (loaded.adjacency != small_cora.adjacency).nnz == 0
+        np.testing.assert_allclose(loaded.features, small_cora.features)
+        np.testing.assert_array_equal(loaded.labels, small_cora.labels)
+        np.testing.assert_array_equal(loaded.train_mask, small_cora.train_mask)
+        assert loaded.name == small_cora.name
+
+    def test_ground_truth_preserved(self, tmp_path, small_motif_graph):
+        path = tmp_path / "motif.npz"
+        io.save_graph(small_motif_graph, path)
+        loaded = io.load_graph(path)
+        assert loaded.extra["gt_edge_mask"] == small_motif_graph.extra["gt_edge_mask"]
+        np.testing.assert_array_equal(
+            loaded.extra["motif_nodes"], small_motif_graph.extra["motif_nodes"]
+        )
+
+    def test_unlabelled_graph(self, tmp_path):
+        graph = Graph.from_edges(4, np.array([(0, 1), (2, 3)]))
+        path = tmp_path / "bare.npz"
+        io.save_graph(graph, path)
+        loaded = io.load_graph(path)
+        assert loaded.labels is None
+        assert loaded.train_mask is None
+
+
+class TestCheckpointRoundtrip:
+    def test_encoder_state(self, tmp_path):
+        a = GraphEncoder(6, 8, 3, rng=np.random.default_rng(0))
+        b = GraphEncoder(6, 8, 3, rng=np.random.default_rng(1))
+        path = tmp_path / "model.npz"
+        io.save_checkpoint(a, path)
+        io.load_checkpoint(b, path)
+        for (name_a, param_a), (name_b, param_b) in zip(
+            a.named_parameters(), b.named_parameters()
+        ):
+            assert name_a == name_b
+            np.testing.assert_allclose(param_a.data, param_b.data)
+
+    def test_loaded_model_computes_identically(self, tmp_path, small_cora):
+        a = GraphEncoder(small_cora.num_features, 8, small_cora.num_classes,
+                         dropout=0.0, rng=np.random.default_rng(0))
+        b = GraphEncoder(small_cora.num_features, 8, small_cora.num_classes,
+                         dropout=0.0, rng=np.random.default_rng(1))
+        path = tmp_path / "model.npz"
+        io.save_checkpoint(a, path)
+        io.load_checkpoint(b, path)
+        x = Tensor(small_cora.features)
+        edge_index = small_cora.edge_index()
+        out_a = a(x, edge_index, small_cora.num_nodes).data
+        out_b = b(x, edge_index, small_cora.num_nodes).data
+        np.testing.assert_allclose(out_a, out_b)
+
+
+class TestExplanationsRoundtrip:
+    def test_roundtrip(self, tmp_path, small_cora):
+        from repro.core import SESTrainer, fast_config
+
+        trainer = SESTrainer(small_cora, fast_config(explainable_epochs=5, predictive_epochs=1))
+        trainer.train_explainable()
+        explanations = trainer.explanations()
+        path = tmp_path / "explanations.npz"
+        io.save_explanations(explanations, path)
+        loaded = io.load_explanations(path)
+        np.testing.assert_allclose(loaded.feature_mask, explanations.feature_mask)
+        assert (loaded.structure_mask != explanations.structure_mask).nnz == 0
+        assert loaded.ranked_neighbors(0) == explanations.ranked_neighbors(0)
+
+
+class TestStats:
+    def test_homophily_perfect(self):
+        graph = Graph.from_edges(
+            4, np.array([(0, 1), (2, 3)]), labels=np.array([0, 0, 1, 1])
+        )
+        assert edge_homophily(graph) == 1.0
+
+    def test_homophily_zero(self):
+        graph = Graph.from_edges(
+            4, np.array([(0, 2), (1, 3)]), labels=np.array([0, 0, 1, 1])
+        )
+        assert edge_homophily(graph) == 0.0
+
+    def test_homophily_requires_labels(self):
+        with pytest.raises(ValueError):
+            edge_homophily(Graph.from_edges(2, np.array([(0, 1)])))
+
+    def test_gini_zero_for_regular(self):
+        triangle = Graph.from_edges(3, np.array([(0, 1), (1, 2), (2, 0)]))
+        assert degree_gini(triangle) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_positive_for_star(self):
+        star = Graph.from_edges(5, np.array([(0, i) for i in range(1, 5)]))
+        assert degree_gini(star) == pytest.approx(0.3)
+
+    def test_feature_correlation_detects_signal(self):
+        labels = np.array([0] * 10 + [1] * 10)
+        features = np.zeros((20, 3))
+        features[labels == 1, 0] = 1.0  # perfectly class-aligned column
+        graph = Graph.from_edges(20, np.array([(0, 1)]), features=features, labels=labels)
+        assert feature_class_correlation(graph) > 0.9
+
+    def test_connected_components(self):
+        graph = Graph.from_edges(5, np.array([(0, 1), (2, 3)]))
+        components = connected_components(graph)
+        assert components[0] == components[1]
+        assert components[2] == components[3]
+        assert len({components[0], components[2], components[4]}) == 3
+
+    def test_profile_render(self, small_cora):
+        profile = profile_graph(small_cora)
+        text = profile.render()
+        assert "nodes: " in text and "homophily" in text
+        assert profile.homophily > 0.5  # surrogates are homophilous
+        assert profile.num_components >= 1

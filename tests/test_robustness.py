@@ -1,0 +1,143 @@
+"""Failure-injection and edge-case robustness tests.
+
+Degenerate graphs (isolated nodes, single class, stars), pathological
+features, and wrong-usage errors — the pipeline should either handle them
+gracefully or fail loudly with a clear message, never produce NaNs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SESTrainer, fast_config
+from repro.graph import Graph, classification_split
+from repro.models import train_node_classifier
+from repro.nn import GCNConv, GraphEncoder
+from repro.tensor import Tensor
+
+
+def _make_labelled(edges, labels, features=None, num_nodes=None):
+    num_nodes = num_nodes or len(labels)
+    graph = Graph.from_edges(
+        num_nodes, np.array(edges),
+        features=features if features is not None else np.eye(num_nodes),
+        labels=np.array(labels),
+    )
+    rng = np.random.default_rng(0)
+    graph.train_mask = rng.random(num_nodes) < 0.7
+    graph.train_mask[0] = True
+    graph.train_mask[-1] = False  # guarantee a non-empty test set
+    graph.val_mask = ~graph.train_mask
+    graph.test_mask = ~graph.train_mask
+    return graph
+
+
+class TestDegenerateGraphs:
+    def test_isolated_nodes_survive_full_pipeline(self):
+        # Nodes 6 and 7 have no edges at all.
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)]
+        labels = [0, 0, 0, 1, 1, 1, 0, 1]
+        graph = _make_labelled(edges, labels)
+        config = fast_config("gcn", explainable_epochs=5, predictive_epochs=2, seed=0)
+        result = SESTrainer(graph, config).fit()
+        assert np.isfinite(result.logits).all()
+
+    def test_star_graph(self):
+        edges = [(0, i) for i in range(1, 10)]
+        labels = [0] + [1] * 9
+        graph = _make_labelled(edges, labels)
+        result = train_node_classifier(graph, "gcn", hidden=8, epochs=20, seed=0)
+        assert np.isfinite(result.logits).all()
+
+    def test_single_class_graph_trains(self):
+        edges = [(i, i + 1) for i in range(9)]
+        labels = [0] * 10
+        graph = _make_labelled(edges, labels)
+        config = fast_config("gcn", explainable_epochs=4, predictive_epochs=1, seed=0)
+        result = SESTrainer(graph, config).fit()
+        assert (result.predictions == 0).all()
+
+    def test_two_node_graph(self):
+        graph = _make_labelled([(0, 1)], [0, 1])
+        config = fast_config("gcn", explainable_epochs=3, predictive_epochs=1, seed=0)
+        result = SESTrainer(graph, config).fit()
+        assert result.logits.shape == (2, 2)
+
+    def test_complete_graph(self):
+        n = 8
+        edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        labels = [i % 2 for i in range(n)]
+        graph = _make_labelled(edges, labels)
+        config = fast_config("gcn", explainable_epochs=4, predictive_epochs=1, seed=0)
+        result = SESTrainer(graph, config).fit()
+        assert np.isfinite(result.logits).all()
+
+
+class TestPathologicalInputs:
+    def test_zero_feature_matrix(self):
+        edges = [(i, (i + 1) % 8) for i in range(8)]
+        graph = _make_labelled(edges, [i % 2 for i in range(8)],
+                               features=np.zeros((8, 4)))
+        result = train_node_classifier(graph, "gcn", hidden=8, epochs=10, seed=0)
+        assert np.isfinite(result.logits).all()
+
+    def test_huge_feature_scale(self):
+        edges = [(i, (i + 1) % 8) for i in range(8)]
+        graph = _make_labelled(edges, [i % 2 for i in range(8)],
+                               features=np.eye(8) * 1e6)
+        result = train_node_classifier(graph, "gcn", hidden=8, epochs=5, seed=0)
+        assert np.isfinite(result.logits).all()
+
+    def test_conv_handles_empty_edge_list(self):
+        conv = GCNConv(4, 3, rng=np.random.default_rng(0))
+        out = conv(Tensor(np.eye(4)), np.zeros((2, 0), dtype=np.int64), 4)
+        assert np.isfinite(out.data).all()
+
+    def test_encoder_single_node(self):
+        encoder = GraphEncoder(3, 4, 2, dropout=0.0, rng=np.random.default_rng(0))
+        out = encoder(Tensor(np.ones((1, 3))), np.zeros((2, 0), dtype=np.int64), 1)
+        assert out.shape == (1, 2)
+
+
+class TestUsageErrors:
+    def test_trainer_without_val_mask_still_works(self):
+        edges = [(i, (i + 1) % 10) for i in range(10)]
+        graph = Graph.from_edges(10, np.array(edges), features=np.eye(10),
+                                 labels=np.array([i % 2 for i in range(10)]))
+        graph.train_mask = np.ones(10, dtype=bool)
+        graph.test_mask = np.ones(10, dtype=bool)
+        config = fast_config("gcn", explainable_epochs=3, predictive_epochs=1, seed=0)
+        result = SESTrainer(graph, config).fit()
+        assert np.isnan(result.val_accuracy)
+
+    def test_mismatched_masks_rejected_at_graph_level(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(3, np.array([(0, 1)]),
+                             train_mask=np.ones(5, dtype=bool))
+
+    def test_epoch_zero_is_rejected_by_config(self):
+        with pytest.raises(ValueError):
+            fast_config(explainable_epochs=0)
+
+    def test_predict_with_wrong_feature_shape_raises(self, small_cora):
+        config = fast_config("gcn", explainable_epochs=3, predictive_epochs=1, seed=0)
+        trainer = SESTrainer(small_cora, config)
+        trainer.fit()
+        with pytest.raises(Exception):
+            trainer.predict(np.ones((3, 3)))
+
+
+class TestNumericalStability:
+    def test_long_training_stays_finite(self, small_cora):
+        config = fast_config("gcn", explainable_epochs=60, predictive_epochs=10,
+                             learning_rate=0.05, seed=0)  # aggressive lr
+        result = SESTrainer(small_cora, config).fit()
+        assert np.isfinite(result.logits).all()
+        assert all(np.isfinite(l) for l in result.history.phase1_loss)
+
+    def test_gat_on_isolated_nodes_finite(self):
+        edges = [(0, 1)]
+        labels = [0, 1, 0, 1]
+        graph = _make_labelled(edges, labels, num_nodes=4)
+        result = train_node_classifier(graph, "gat", hidden=8, epochs=10,
+                                       heads=2, seed=0)
+        assert np.isfinite(result.logits).all()

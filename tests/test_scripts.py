@@ -1,0 +1,61 @@
+"""Tests for the repository scripts (EXPERIMENTS.md builder, self-check)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+SCRIPTS = ROOT / "scripts"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(name, SCRIPTS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestBuildExperimentsMd:
+    def test_sections_cover_every_table_and_figure(self):
+        builder = _load("build_experiments_md")
+        names = [name for name, *_ in builder.SECTIONS]
+        expected = [f"table{i}" for i in range(3, 11)] + [f"fig{i}" for i in range(4, 9)]
+        assert set(names) == set(expected)
+
+    def test_each_section_has_paper_numbers_and_verdict(self):
+        builder = _load("build_experiments_md")
+        for name, title, paper_side, verdict in builder.SECTIONS:
+            assert "Paper" in paper_side, name
+            assert verdict.startswith("Verdict"), name
+
+    def test_main_writes_file(self, tmp_path, monkeypatch):
+        builder = _load("build_experiments_md")
+        monkeypatch.setattr(builder, "ROOT", tmp_path)
+        monkeypatch.setattr(builder, "RESULTS", tmp_path / "results")
+        (tmp_path / "results").mkdir()
+        (tmp_path / "results" / "table8.txt").write_text("measured table 8")
+        builder.main()
+        text = (tmp_path / "EXPERIMENTS.md").read_text()
+        assert "measured table 8" in text
+        assert "not yet generated" in text  # the missing ones are flagged
+
+
+class TestGenerateExperiments:
+    def test_profiles_cover_all_experiments(self):
+        generator = _load("generate_experiments")
+        from repro.experiments import ALL_EXPERIMENTS
+
+        assert set(generator.PROFILES) == set(ALL_EXPERIMENTS)
+        assert set(generator.ORDER) == set(ALL_EXPERIMENTS)
+
+
+class TestSelfcheckStructure:
+    def test_selfcheck_has_check_helper(self):
+        selfcheck = _load("selfcheck")
+        results = []
+        selfcheck.check("ok", lambda: None, results)
+        selfcheck.check("bad", lambda: 1 / 0, results)
+        assert results[0][1] is True
+        assert results[1][1] is False

@@ -1,0 +1,104 @@
+"""Tests for the SVG figure renderers."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.viz import PALETTE, bar_chart_svg, heatmap_svg, line_chart_svg, scatter_svg
+
+
+def _assert_valid_svg(svg: str) -> ET.Element:
+    root = ET.fromstring(svg)
+    assert root.tag.endswith("svg")
+    return root
+
+
+class TestScatter:
+    def test_valid_xml_and_point_count(self, rng):
+        points = rng.normal(size=(20, 2))
+        labels = rng.integers(0, 3, size=20)
+        svg = scatter_svg(points, labels, title="test")
+        root = _assert_valid_svg(svg)
+        circles = [el for el in root.iter() if el.tag.endswith("circle")]
+        assert len(circles) == 20
+
+    def test_class_colours_from_palette(self, rng):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        svg = scatter_svg(points, np.array([0, 1]))
+        assert PALETTE[0] in svg and PALETTE[1] in svg
+
+    def test_writes_file(self, tmp_path, rng):
+        path = tmp_path / "scatter.svg"
+        scatter_svg(rng.normal(size=(5, 2)), np.zeros(5, dtype=int), path)
+        assert path.exists()
+        _assert_valid_svg(path.read_text())
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            scatter_svg(np.zeros((3, 3)), np.zeros(3))
+        with pytest.raises(ValueError):
+            scatter_svg(np.zeros((3, 2)), np.zeros(2))
+
+    def test_title_escaped(self, rng):
+        svg = scatter_svg(np.zeros((1, 2)), np.zeros(1), title="a<b & c")
+        assert "a&lt;b &amp; c" in svg
+
+
+class TestHeatmap:
+    def test_cell_count(self):
+        svg = heatmap_svg(np.random.default_rng(0).random((4, 6)))
+        root = _assert_valid_svg(svg)
+        rects = [el for el in root.iter() if el.tag.endswith("rect")]
+        assert len(rects) == 4 * 6 + 1  # + background
+
+    def test_downsamples_large_matrices(self):
+        svg = heatmap_svg(np.zeros((2000, 2000)), max_cells=20)
+        root = _assert_valid_svg(svg)
+        rects = [el for el in root.iter() if el.tag.endswith("rect")]
+        assert len(rects) <= 21 * 21 + 1
+
+    def test_constant_matrix(self):
+        _assert_valid_svg(heatmap_svg(np.full((3, 3), 0.7)))
+
+    def test_1d_input_promoted(self):
+        _assert_valid_svg(heatmap_svg(np.arange(10.0)))
+
+
+class TestLineChart:
+    def test_polyline_per_series(self):
+        svg = line_chart_svg({"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]})
+        root = _assert_valid_svg(svg)
+        polylines = [el for el in root.iter() if el.tag.endswith("polyline")]
+        assert len(polylines) == 2
+
+    def test_legend_labels_present(self):
+        svg = line_chart_svg({"training loss": [1.0, 0.5]})
+        assert "training loss" in svg
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart_svg({})
+
+    def test_single_point_series_skipped(self):
+        svg = line_chart_svg({"short": [1.0], "ok": [1.0, 2.0]})
+        root = _assert_valid_svg(svg)
+        polylines = [el for el in root.iter() if el.tag.endswith("polyline")]
+        assert len(polylines) == 1
+
+
+class TestBarChart:
+    def test_bars_per_group_and_series(self):
+        groups = {"g1": {"a": 1.0, "b": 2.0}, "g2": {"a": 3.0, "b": 4.0}}
+        svg = bar_chart_svg(groups)
+        root = _assert_valid_svg(svg)
+        rects = [el for el in root.iter() if el.tag.endswith("rect")]
+        assert len(rects) == 4 + 1  # + background
+
+    def test_missing_series_renders_zero_height(self):
+        groups = {"g1": {"a": 1.0}, "g2": {"b": 2.0}}
+        _assert_valid_svg(bar_chart_svg(groups))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart_svg({})
