@@ -4,18 +4,57 @@ These are genuine pytest-benchmark measurements (multiple rounds) of the
 hot inner loops: the autograd forward/backward of a GCN layer, the
 mask-generator pass, k-hop expansion, and negative sampling.  They guard
 against performance regressions in the from-scratch engine.
+
+With ``REPRO_TELEMETRY=1`` every benchmark also appends a ``metric``
+event (mean/stddev/rounds) to a ``results/runs/bench-micro-*.jsonl``
+record — the same schema the training recorder emits (see
+docs/OBSERVABILITY.md) — so bench history is diffable with
+``python -m repro obs-report``.
 """
 
 from __future__ import annotations
 
+import os
+import time
+
 import numpy as np
 import pytest
 
-from repro.core import MaskGenerator
+from repro.core import MaskGenerator, SESTrainer, fast_config
 from repro.datasets import cora_like
 from repro.graph import classification_split, khop_edge_index, sample_negative_sets
 from repro.nn import GCNConv, GATConv
+from repro.obs import NullRecorder, RunRecorder
 from repro.tensor import Tensor
+
+_RECORDER = None
+
+
+def _recorder():
+    global _RECORDER
+    if _RECORDER is None:
+        if os.environ.get("REPRO_TELEMETRY", "").lower() in ("", "0", "false", "no"):
+            _RECORDER = NullRecorder()
+        else:
+            stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime())
+            _RECORDER = RunRecorder(run_id=f"bench-micro-{stamp}")
+            _RECORDER.run_start(suite="bench_microbenchmarks")
+    return _RECORDER
+
+
+def _emit(benchmark, name):
+    """Append one ``metric`` event per benchmark to the shared run record."""
+    recorder = _recorder()
+    if recorder.enabled and benchmark.stats is not None:
+        stats = benchmark.stats.stats
+        recorder.metric(
+            name,
+            stats.mean,
+            stddev=stats.stddev,
+            rounds=stats.rounds,
+            min=stats.min,
+            max=stats.max,
+        )
 
 
 @pytest.fixture(scope="module")
@@ -37,6 +76,7 @@ def test_gcn_forward_backward(benchmark, medium_graph):
         conv.zero_grad()
 
     benchmark(step)
+    _emit(benchmark, "gcn_forward_backward")
 
 
 def test_gat_forward_backward(benchmark, medium_graph):
@@ -51,6 +91,7 @@ def test_gat_forward_backward(benchmark, medium_graph):
         conv.zero_grad()
 
     benchmark(step)
+    _emit(benchmark, "gat_forward_backward")
 
 
 def test_masked_gcn_forward_backward(benchmark, medium_graph):
@@ -67,6 +108,7 @@ def test_masked_gcn_forward_backward(benchmark, medium_graph):
         conv.zero_grad()
 
     benchmark(step)
+    _emit(benchmark, "masked_gcn_forward_backward")
 
 
 def test_mask_generator_pass(benchmark, medium_graph):
@@ -80,6 +122,7 @@ def test_mask_generator_pass(benchmark, medium_graph):
         generator(hidden, khop, negatives)
 
     benchmark(step)
+    _emit(benchmark, "mask_generator_pass")
 
 
 def test_khop_expansion(benchmark, medium_graph):
@@ -91,6 +134,7 @@ def test_khop_expansion(benchmark, medium_graph):
         khop_edge_index(graph, 2)
 
     benchmark(step)
+    _emit(benchmark, "khop_expansion")
 
 
 def test_negative_sampling(benchmark, medium_graph):
@@ -101,3 +145,21 @@ def test_negative_sampling(benchmark, medium_graph):
         sample_negative_sets(graph, 2, rng, max_per_node=32)
 
     benchmark(step)
+    _emit(benchmark, "negative_sampling")
+
+
+def test_ses_fit_quickstart_path(benchmark, medium_graph):
+    """End-to-end trainer wall-clock on the examples/quickstart.py code path.
+
+    Runs SESTrainer.fit() with telemetry and profiler disabled (the
+    default), guarding the acceptance bound that the observability layer
+    adds no overhead when off.
+    """
+    graph = medium_graph
+    config = fast_config(explainable_epochs=10, predictive_epochs=3)
+
+    def step():
+        return SESTrainer(graph, config).fit()
+
+    benchmark.pedantic(step, rounds=1, iterations=1, warmup_rounds=0)
+    _emit(benchmark, "ses_fit_quickstart_path")

@@ -8,17 +8,34 @@ Runs in under a minute on a laptop CPU.  The pipeline:
 4. print the test accuracy, and
 5. inspect the built-in explanations — no post-hoc explainer needed.
 
-Usage: python examples/quickstart.py
+Usage: python examples/quickstart.py [--telemetry] [--op-profile]
+
+``--telemetry`` writes a structured run record to
+``results/runs/quickstart.jsonl``; ``--op-profile`` additionally runs the
+op-level autograd profiler and appends its per-op stats to the record.
+Render either with ``python -m repro obs-report results/runs/quickstart.jsonl``
+(docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
 
+import argparse
+import contextlib
+
 from repro.core import SESConfig, SESTrainer
 from repro.datasets import load_dataset
 from repro.graph import classification_split
+from repro.obs import NullRecorder, OpProfiler, RunRecorder
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--telemetry", action="store_true",
+                        help="write results/runs/quickstart.jsonl")
+    parser.add_argument("--op-profile", action="store_true",
+                        help="profile autograd ops (implies --telemetry)")
+    args = parser.parse_args(argv)
+
     graph = load_dataset("cora", seed=0, scale=0.5)
     classification_split(graph, seed=0)
     print(graph.summary())
@@ -31,8 +48,19 @@ def main() -> None:
         dropout=0.3,
         seed=0,
     )
-    trainer = SESTrainer(graph, config)
-    result = trainer.fit()
+    recorder = (
+        RunRecorder(run_id="quickstart")
+        if args.telemetry or args.op_profile
+        else NullRecorder()
+    )
+    trainer = SESTrainer(graph, config, recorder=recorder)
+    profiler = OpProfiler() if args.op_profile else contextlib.nullcontext()
+    with profiler:
+        result = trainer.fit()
+    if args.op_profile:
+        recorder.record_profile(profiler)
+        print()
+        print(profiler.table())
 
     print(f"\ntest accuracy: {result.test_accuracy:.3f}")
     print(f"validation accuracy: {result.val_accuracy:.3f}")
@@ -53,6 +81,11 @@ def main() -> None:
     print("  most important feature dimensions (feature mask M_f ⊙ X):")
     for feature in explanations.top_features(probe, k=5):
         print(f"    feature {feature:4d}  weight {explanations.feature_explanation[probe, feature]:.3f}")
+
+    if recorder.enabled:
+        recorder.close()
+        print(f"\nrun record written to {recorder.path}  "
+              f"(render: python -m repro obs-report {recorder.path})")
 
 
 if __name__ == "__main__":

@@ -25,11 +25,12 @@ Subpackages
 ``repro.metrics``      accuracy, explanation AUC, Fidelity+, clustering
 ``repro.analysis``     t-SNE, sensitivity sweeps, mask dynamics
 ``repro.experiments``  one harness per paper table/figure
+``repro.obs``          run telemetry (JSONL records) + op-level profiler
 """
 
 __version__ = "1.0.0"
 
-from . import analysis, core, datasets, explainers, graph, graphlevel, io, metrics, models, nn, tensor, utils, viz
+from . import analysis, core, datasets, explainers, graph, graphlevel, io, metrics, models, nn, obs, tensor, utils, viz
 
 __all__ = [
     "tensor",
@@ -43,6 +44,7 @@ __all__ = [
     "datasets",
     "metrics",
     "analysis",
+    "obs",
     "utils",
     "viz",
     "__version__",

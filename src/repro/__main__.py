@@ -1,12 +1,19 @@
 """``python -m repro <experiment>`` — shortcut to the experiment CLI.
 
 Equivalent to ``python examples/run_experiments.py``; see
-:mod:`repro.experiments` for the available names.
+:mod:`repro.experiments` for the available names.  Two extras:
+
+* ``python -m repro obs-report results/runs/<run>.jsonl`` renders a
+  telemetry run record (phase timings, epochs, op profile) — see
+  docs/OBSERVABILITY.md.
+* ``--telemetry`` makes every experiment harness write such records under
+  ``results/runs/`` (sets ``REPRO_TELEMETRY=1`` for the invocation).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -14,10 +21,25 @@ from .experiments import ALL_EXPERIMENTS, get_profile
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "obs-report":
+        from .obs import report
+
+        return report.main(argv[1:])
+
     parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
-    parser.add_argument("experiment", choices=sorted(ALL_EXPERIMENTS) + ["all"])
+    parser.add_argument(
+        "experiment", choices=sorted(ALL_EXPERIMENTS) + ["all", "obs-report"]
+    )
     parser.add_argument("--profile", default=None, choices=["quick", "standard", "full"])
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="write JSONL run records to results/runs/ (see docs/OBSERVABILITY.md)",
+    )
     args = parser.parse_args(argv)
+    if args.telemetry:
+        os.environ["REPRO_TELEMETRY"] = "1"
     profile = get_profile(args.profile)
     names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -46,6 +46,7 @@ from ..tensor import (
     segment_mean,
     segment_sum,
 )
+from ..obs import NullRecorder, default_recorder
 from ..utils import Stopwatch, make_rng
 from .config import SESConfig
 from .explanations import Explanations
@@ -136,27 +137,46 @@ class SESTrainer:
         graph: Graph,
         config: Optional[SESConfig] = None,
         rng: Optional[np.random.Generator] = None,
+        recorder: Optional[NullRecorder] = None,
     ) -> None:
         if graph.labels is None or graph.train_mask is None:
             raise ValueError("SES requires labels and split masks on the graph")
         self.graph = graph
         self.config = config or SESConfig()
         self.rng = rng or make_rng(self.config.seed)
+        if recorder is not None:
+            self.recorder = recorder
+            self._owns_recorder = False
+        else:
+            self.recorder = default_recorder(
+                f"{graph.name}-{self.config.backbone}-seed{self.config.seed}"
+            )
+            self._owns_recorder = self.recorder.enabled
+        if self.recorder.enabled:
+            self.recorder.run_start(
+                config=self.config,
+                seed=self.config.seed,
+                dataset=graph.name,
+                num_nodes=graph.num_nodes,
+                num_edges=graph.num_edges,
+                backbone=self.config.backbone,
+            )
         self.model = SESModel(
             graph.num_features, graph.num_classes, self.config, rng=self.rng
         )
         self.features = Tensor(graph.features)
         self.edge_index = graph.edge_index()
         self.num_nodes = graph.num_nodes
-        self.khop_edges = self._build_khop_edges()
-        self._negative_sets = sample_negative_sets(
-            graph,
-            self.config.k_hops,
-            self.rng,
-            max_per_node=self.config.max_negatives_per_node,
-        )
-        self.negative_pairs = negative_edge_index(self._negative_sets)
-        self._base_edge_positions = self._align_base_edges()
+        with self.recorder.phase("setup"):
+            self.khop_edges = self._build_khop_edges()
+            self._negative_sets = sample_negative_sets(
+                graph,
+                self.config.k_hops,
+                self.rng,
+                max_per_node=self.config.max_negatives_per_node,
+            )
+            self.negative_pairs = negative_edge_index(self._negative_sets)
+            self._base_edge_positions = self._align_base_edges()
         self.stopwatch = Stopwatch()
         self.pairs: Optional[PairSets] = None
         self._frozen_feature_mask: Optional[np.ndarray] = None
@@ -240,7 +260,7 @@ class SESTrainer:
         optimizer = Adam(params, lr=cfg.learning_rate, weight_decay=cfg.weight_decay)
         graph, model = self.graph, self.model
         snapshot_set = set(snapshot_epochs)
-        with self.stopwatch.measure("explainable"):
+        with self.recorder.phase("explainable", self.stopwatch):
             for epoch in range(epochs):
                 if cfg.resample_negatives and epoch > 0:
                     self._resample_negatives()
@@ -310,6 +330,19 @@ class SESTrainer:
                     self.history.phase1_val_accuracy.append(
                         self._evaluate_plain(graph.val_mask)
                     )
+                if self.recorder.enabled:
+                    self.recorder.epoch(
+                        "explainable",
+                        epoch,
+                        loss.item(),
+                        val_accuracy=(
+                            self.history.phase1_val_accuracy[-1]
+                            if self.history.phase1_val_accuracy
+                            else None
+                        ),
+                        feature_mask_sparsity=float(np.mean(feature_mask.data < 0.5)),
+                        structure_mask_sparsity=float(np.mean(structure_mask.data < 0.5)),
+                    )
                 if epoch in snapshot_set:
                     self.history.mask_snapshots[epoch] = (
                         feature_mask.data.copy(),
@@ -367,12 +400,19 @@ class SESTrainer:
         """Construct positive/negative node sets from the frozen masks."""
         if self._frozen_structure_values is None:
             raise RuntimeError("run train_explainable() before build_pairs()")
-        with self.stopwatch.measure("pairs"):
+        with self.recorder.phase("pairs", self.stopwatch):
             weighted = scatter_edge_values(
                 self.khop_edges, self._frozen_structure_values, self.num_nodes
             )
             self.pairs = construct_pairs(
                 weighted, self._negative_sets, self.config.sample_ratio, self.rng
+            )
+        if self.recorder.enabled:
+            self.recorder.pairs(
+                num_anchors=len(self.pairs.anchors()),
+                num_positive=int(sum(len(p) for p in self.pairs.positive.values())),
+                num_negative=int(sum(len(n) for n in self.pairs.negative.values())),
+                seconds=self.stopwatch.durations.get("pairs", 0.0),
             )
         return self.pairs
 
@@ -418,7 +458,7 @@ class SESTrainer:
                 self.pairs, self.num_nodes
             )
             num_anchors = len(anchors)
-        with self.stopwatch.measure("predictive"):
+        with self.recorder.phase("predictive", self.stopwatch):
             for epoch in range(epochs):
                 model.train()
                 optimizer.zero_grad()
@@ -454,6 +494,17 @@ class SESTrainer:
                         self._best_readout = (
                             "masked" if masked_val >= plain_val else "plain"
                         )
+                if self.recorder.enabled:
+                    self.recorder.epoch(
+                        "predictive",
+                        epoch,
+                        loss.item(),
+                        val_accuracy=(
+                            self.history.phase2_val_accuracy[-1]
+                            if self.history.phase2_val_accuracy
+                            else None
+                        ),
+                    )
                 if callback is not None:
                     callback(epoch, loss.item())
         if cfg.keep_best and self._best_state is not None:
@@ -568,6 +619,16 @@ class SESTrainer:
             if graph.val_mask is not None and graph.val_mask.any()
             else float("nan")
         )
+        if self.recorder.enabled:
+            self.recorder.run_end(
+                test_accuracy=test_accuracy,
+                val_accuracy=None if np.isnan(val_accuracy) else val_accuracy,
+                readout=self.active_readout(),
+                total_seconds=self.stopwatch.total(),
+                timings=dict(self.stopwatch.durations),
+            )
+        if self._owns_recorder:
+            self.recorder.close()
         return SESResult(
             test_accuracy=test_accuracy,
             val_accuracy=val_accuracy,

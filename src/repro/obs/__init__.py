@@ -1,0 +1,45 @@
+"""repro.obs — run telemetry and op-level profiling.
+
+The observability layer of the reproduction (docs/OBSERVABILITY.md):
+
+* :class:`OpProfiler` — zero-overhead-when-disabled op-level profiler for
+  the autograd engine (per-op forward/backward counts and wall time).
+* :class:`RunRecorder` / :class:`NullRecorder` — structured JSON-lines run
+  records (``results/runs/*.jsonl``): epoch losses, mask sparsity, pair
+  counts, phase timings, RNG seed and config hash.
+* :mod:`repro.obs.report` — ``python -m repro obs-report run.jsonl``
+  renders a per-phase timing summary and the op profile table.
+* :func:`make_event` / :func:`config_hash` / :data:`EVENT_TYPES` — the
+  event schema itself.
+"""
+
+from .events import EVENT_TYPES, SCHEMA_VERSION, config_hash, jsonable, make_event
+from .profiler import OpProfiler, OpStat, active_profiler
+from .recorder import (
+    DEFAULT_RUNS_DIR,
+    NullRecorder,
+    RunRecorder,
+    default_recorder,
+    telemetry_enabled,
+)
+from .report import load_events, render_report, report_path, summarize_run
+
+__all__ = [
+    "EVENT_TYPES",
+    "SCHEMA_VERSION",
+    "config_hash",
+    "jsonable",
+    "make_event",
+    "OpProfiler",
+    "OpStat",
+    "active_profiler",
+    "DEFAULT_RUNS_DIR",
+    "NullRecorder",
+    "RunRecorder",
+    "default_recorder",
+    "telemetry_enabled",
+    "load_events",
+    "render_report",
+    "report_path",
+    "summarize_run",
+]

@@ -1,0 +1,180 @@
+"""Op-level autograd profiler for the from-scratch tensor engine.
+
+Every differentiable operation in :mod:`repro.tensor` — the ``Tensor``
+methods, the gather/segment primitives in :mod:`repro.tensor.scatter` and
+:func:`repro.tensor.sparse.spmm` — funnels through the single graph
+constructor ``Tensor._make(data, parents, backward)``.  :class:`OpProfiler`
+exploits that choke point: while active it swaps ``Tensor._make`` for a
+counting/timing wrapper and restores the pristine function on exit, so a
+disabled profiler costs literally nothing (no flag checks on the hot path,
+no hook objects on tensors).
+
+What is measured per op name (``__add__``, ``__matmul__``, ``gather_rows``,
+``segment_sum``, ``spmm``, ...):
+
+* **forward calls** — one per graph node created.
+* **forward seconds** — the wall-clock gap since the previous graph node
+  was created (or since the profiler was entered).  In this engine each
+  op computes its numpy result immediately before calling ``_make``, so
+  the gap is the op's own compute plus its python glue; inter-op work
+  (loss bookkeeping, optimiser steps) is attributed to the *next* op and
+  is negligible inside the training loops this profiler targets.
+* **backward calls / seconds** — exact: the recorded backward closure is
+  wrapped in a timer, so the adjoint cost of each op is measured directly
+  when ``Tensor.backward()`` replays the tape (even if that happens after
+  the profiler context has exited).
+
+Single active profiler per process; profilers are not thread-safe (neither
+is the tape-based engine they instrument).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..tensor.tensor import Tensor
+from ..utils.logging import format_table
+
+_active: Optional["OpProfiler"] = None
+
+
+def active_profiler() -> Optional["OpProfiler"]:
+    """Return the currently-enabled profiler, if any."""
+    return _active
+
+
+@dataclass
+class OpStat:
+    """Aggregated counters for one op name."""
+
+    forward_calls: int = 0
+    forward_seconds: float = 0.0
+    backward_calls: int = 0
+    backward_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.forward_seconds + self.backward_seconds
+
+
+def _op_name(qualname: str) -> str:
+    """Derive the op name from a backward closure's qualified name.
+
+    ``Tensor.__add__.<locals>.backward`` → ``__add__``;
+    ``gather_rows.<locals>.backward`` → ``gather_rows``.
+    """
+    parts = qualname.split(".")
+    try:
+        return parts[parts.index("<locals>") - 1]
+    except ValueError:
+        return qualname
+
+
+class OpProfiler:
+    """Context manager that aggregates per-op forward/backward counts & time.
+
+    Usage::
+
+        with OpProfiler() as prof:
+            loss = model_forward()
+            loss.backward()
+        print(prof.table())
+
+    Re-entering the same instance accumulates into the same counters, so a
+    profiler can sample selected epochs of a longer run.
+    """
+
+    def __init__(self) -> None:
+        self.stats: Dict[str, OpStat] = {}
+        self._original = None
+        self._mark = 0.0
+
+    # ------------------------------------------------------------------
+    # Activation
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "OpProfiler":
+        global _active
+        if _active is not None:
+            raise RuntimeError("an OpProfiler is already active in this process")
+        _active = self
+        self._original = Tensor.__dict__["_make"].__func__
+        original = self._original
+        stats = self.stats
+        perf_counter = time.perf_counter
+        self._mark = perf_counter()
+
+        def profiled_make(data, parents, backward):
+            now = perf_counter()
+            op = _op_name(backward.__qualname__)
+            stat = stats.get(op)
+            if stat is None:
+                stat = stats[op] = OpStat()
+            stat.forward_calls += 1
+            stat.forward_seconds += now - self._mark
+            out = original(data, parents, backward)
+            if out._backward is not None:
+                inner = out._backward
+
+                def timed_backward(grad, _inner=inner, _stat=stat):
+                    start = perf_counter()
+                    try:
+                        _inner(grad)
+                    finally:
+                        _stat.backward_calls += 1
+                        _stat.backward_seconds += perf_counter() - start
+
+                out._backward = timed_backward
+            self._mark = perf_counter()
+            return out
+
+        Tensor._make = staticmethod(profiled_make)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        global _active
+        Tensor._make = staticmethod(self._original)
+        self._original = None
+        _active = None
+
+    @property
+    def enabled(self) -> bool:
+        return _active is self
+
+    # ------------------------------------------------------------------
+    # Readouts
+    # ------------------------------------------------------------------
+    def records(self) -> List[dict]:
+        """Per-op stats as JSON-ready dicts, heaviest total time first."""
+        rows = [
+            {
+                "op": op,
+                "forward_calls": stat.forward_calls,
+                "forward_seconds": stat.forward_seconds,
+                "backward_calls": stat.backward_calls,
+                "backward_seconds": stat.backward_seconds,
+            }
+            for op, stat in self.stats.items()
+        ]
+        rows.sort(key=lambda r: -(r["forward_seconds"] + r["backward_seconds"]))
+        return rows
+
+    def total_seconds(self) -> float:
+        return sum(stat.total_seconds for stat in self.stats.values())
+
+    def table(self, title: str = "op profile") -> str:
+        """Render the aggregate as an aligned text table."""
+        headers = ["op", "fwd calls", "fwd s", "bwd calls", "bwd s", "total s"]
+        rows = [
+            [
+                r["op"],
+                r["forward_calls"],
+                r["forward_seconds"],
+                r["backward_calls"],
+                r["backward_seconds"],
+                r["forward_seconds"] + r["backward_seconds"],
+            ]
+            for r in self.records()
+        ]
+        return format_table(headers, rows, title=title, float_format="{:.4f}")

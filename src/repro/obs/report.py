@@ -1,0 +1,179 @@
+"""Render run records (``results/runs/*.jsonl``) as human-readable reports.
+
+``python -m repro obs-report <run.jsonl> [more.jsonl ...]`` prints, per
+record: run provenance (dataset, seed, config hash), a per-phase timing
+summary with epoch counts and final losses, any recorded metrics, and —
+when the run was profiled — the per-op forward/backward profile table.
+Everything renders through :func:`repro.utils.logging.format_table` so the
+output matches the rest of the reproduction's tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Sequence
+
+from ..utils.logging import format_table
+from ..utils.timing import format_duration
+
+
+def load_events(path: str) -> List[Dict[str, Any]]:
+    """Read one event per non-empty line; malformed lines raise ValueError."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{number}: invalid JSON event: {error}") from None
+    return events
+
+
+def summarize_run(events: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold a run's event stream into one summary dict.
+
+    Keys: ``meta`` (run_start payload), ``phases`` (ordered per-phase
+    seconds / epoch counts / last loss & val accuracy), ``pairs``,
+    ``metrics``, ``profile`` (per-op rows) and ``end`` (run_end payload).
+    """
+    meta: Dict[str, Any] = {}
+    end: Dict[str, Any] = {}
+    pairs: List[Dict[str, Any]] = []
+    metrics: List[Dict[str, Any]] = []
+    profile: List[Dict[str, Any]] = []
+    phases: Dict[str, Dict[str, Any]] = {}
+
+    def phase_slot(name: str) -> Dict[str, Any]:
+        return phases.setdefault(
+            name, {"seconds": 0.0, "epochs": 0, "last_loss": None, "last_val_accuracy": None}
+        )
+
+    for event in events:
+        kind = event.get("event")
+        if kind == "run_start":
+            meta = {k: v for k, v in event.items() if k not in ("event", "seq", "ts")}
+        elif kind == "phase_end":
+            phase_slot(event["phase"])["seconds"] += float(event.get("seconds", 0.0))
+        elif kind == "epoch":
+            slot = phase_slot(event["phase"])
+            slot["epochs"] += 1
+            slot["last_loss"] = event.get("loss")
+            if event.get("val_accuracy") is not None:
+                slot["last_val_accuracy"] = event["val_accuracy"]
+        elif kind == "pairs":
+            pairs.append({k: v for k, v in event.items() if k not in ("event", "seq", "ts")})
+        elif kind == "metric":
+            metrics.append({k: v for k, v in event.items() if k not in ("event", "seq", "ts")})
+        elif kind == "profile":
+            profile.append({k: v for k, v in event.items() if k not in ("event", "seq", "ts")})
+        elif kind == "run_end":
+            end = {k: v for k, v in event.items() if k not in ("event", "seq", "ts")}
+    return {
+        "meta": meta,
+        "phases": phases,
+        "pairs": pairs,
+        "metrics": metrics,
+        "profile": profile,
+        "end": end,
+    }
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_report(summary: Dict[str, Any], source: str = "") -> str:
+    """Render one summarized run as aligned text tables."""
+    blocks: List[str] = []
+    meta = summary["meta"]
+    header = [f"run: {meta.get('run_id', source or '?')}"]
+    for key in ("dataset", "seed", "config_hash", "backbone"):
+        if key in meta:
+            header.append(f"{key}={meta[key]}")
+    blocks.append("  ".join(header))
+
+    if summary["phases"]:
+        total = sum(slot["seconds"] for slot in summary["phases"].values())
+        rows = [
+            [name, f"{slot['seconds']:.3f}", format_duration(slot["seconds"]),
+             slot["epochs"] or "-", _fmt(slot["last_loss"]), _fmt(slot["last_val_accuracy"])]
+            for name, slot in summary["phases"].items()
+        ]
+        rows.append(["total", f"{total:.3f}", format_duration(total), "", "", ""])
+        blocks.append(format_table(
+            ["phase", "seconds", "duration", "epochs", "last loss", "last val acc"],
+            rows, title="phase timings",
+        ))
+
+    for pair in summary["pairs"]:
+        detail = ", ".join(f"{k}={_fmt(v)}" for k, v in pair.items())
+        blocks.append(f"pairs: {detail}")
+
+    if summary["metrics"]:
+        rows = [
+            [m.get("name", "?"), _fmt(m.get("value"))]
+            + [f"{k}={_fmt(v)}" for k, v in m.items() if k not in ("name", "value")]
+            for m in summary["metrics"]
+        ]
+        width = max(len(r) for r in rows)
+        rows = [r + [""] * (width - len(r)) for r in rows]
+        headers = ["metric", "value"] + ["" for _ in range(width - 2)]
+        blocks.append(format_table(headers, rows, title="metrics"))
+
+    if summary["profile"]:
+        rows = [
+            [
+                p.get("op", "?"),
+                int(p.get("forward_calls", 0)),
+                f"{p.get('forward_seconds', 0.0):.4f}",
+                int(p.get("backward_calls", 0)),
+                f"{p.get('backward_seconds', 0.0):.4f}",
+                f"{p.get('forward_seconds', 0.0) + p.get('backward_seconds', 0.0):.4f}",
+            ]
+            for p in summary["profile"]
+        ]
+        blocks.append(format_table(
+            ["op", "fwd calls", "fwd s", "bwd calls", "bwd s", "total s"],
+            rows, title="op profile",
+        ))
+
+    if summary["end"]:
+        detail = ", ".join(f"{k}={_fmt(v)}" for k, v in summary["end"].items())
+        blocks.append(f"run_end: {detail}")
+    return "\n\n".join(blocks)
+
+
+def report_path(path: str) -> str:
+    """Load, summarize and render one run record."""
+    return render_report(summarize_run(load_events(path)), source=path)
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs-report",
+        description="Summarize telemetry run records (results/runs/*.jsonl).",
+    )
+    parser.add_argument("paths", nargs="+", help="one or more .jsonl run records")
+    args = parser.parse_args(argv)
+    for index, path in enumerate(args.paths):
+        if index:
+            print("\n" + "=" * 72 + "\n")
+        try:
+            print(report_path(path))
+        except (OSError, ValueError) as error:
+            print(f"obs-report: {error}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,11 @@ def format_duration(seconds: float) -> str:
     """Human format matching the paper's tables ('1 min 13s', '4.3s')."""
     if seconds >= 60:
         minutes = int(seconds // 60)
-        rest = seconds - 60 * minutes
-        return f"{minutes} min {rest:.0f}s"
+        rest = round(seconds - 60 * minutes)
+        # Carry rounded-up seconds into the minute count so 119.7s renders
+        # as "2 min 0s", never "1 min 60s".
+        if rest >= 60:
+            minutes += 1
+            rest = 0
+        return f"{minutes} min {rest}s"
     return f"{seconds:.2f}s" if seconds < 10 else f"{seconds:.1f}s"

@@ -1,0 +1,127 @@
+"""The OpProfiler contract: zero overhead off, exact counts on."""
+
+import numpy as np
+import pytest
+
+from repro.obs import OpProfiler, active_profiler
+from repro.obs.profiler import _op_name
+from repro.tensor import Tensor, gather_rows, segment_sum, spmm
+
+
+def _pristine_make():
+    return Tensor.__dict__["_make"].__func__
+
+
+class TestDisabledMode:
+    def test_tensor_make_is_untouched_when_no_profiler(self):
+        # Zero-overhead contract: with no active profiler the graph
+        # constructor is the original function — not a wrapper, no flag
+        # checks, nothing.
+        before = _pristine_make()
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        (a * 2.0).sum().backward()
+        assert Tensor.__dict__["_make"].__func__ is before
+        assert active_profiler() is None
+
+    def test_no_hook_objects_on_recorded_closures(self):
+        # Backward closures must be the op's own closure, not a timing
+        # wrapper allocated per graph node.
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = a * 3.0
+        assert b._backward.__qualname__.endswith("__mul__.<locals>.backward")
+
+    def test_make_restored_after_profiler_exits(self):
+        before = _pristine_make()
+        with OpProfiler():
+            assert Tensor.__dict__["_make"].__func__ is not before
+        assert Tensor.__dict__["_make"].__func__ is before
+
+    def test_make_restored_after_exception(self):
+        before = _pristine_make()
+        with pytest.raises(RuntimeError):
+            with OpProfiler():
+                raise RuntimeError("boom")
+        assert Tensor.__dict__["_make"].__func__ is before
+        assert active_profiler() is None
+
+
+class TestEnabledCounts:
+    def test_two_op_graph_counts(self):
+        # Hand-built graph: c = (a * 3).sum() → exactly one __mul__ and one
+        # sum node forward, each visited exactly once backward.
+        with OpProfiler() as prof:
+            a = Tensor([1.0, 2.0], requires_grad=True)
+            c = (a * 3.0).sum()
+            c.backward()
+        assert prof.stats["__mul__"].forward_calls == 1
+        assert prof.stats["__mul__"].backward_calls == 1
+        assert prof.stats["sum"].forward_calls == 1
+        assert prof.stats["sum"].backward_calls == 1
+        assert set(prof.stats) == {"__mul__", "sum"}
+        assert np.allclose(a.grad, [3.0, 3.0])  # profiling must not alter grads
+
+    def test_no_backward_count_without_grad(self):
+        with OpProfiler() as prof:
+            a = Tensor([1.0, 2.0])  # requires_grad=False
+            _ = a * 2.0
+        assert prof.stats["__mul__"].forward_calls == 1
+        assert prof.stats["__mul__"].backward_calls == 0
+
+    def test_scatter_and_spmm_route_through_profiler(self):
+        import scipy.sparse as sp
+
+        with OpProfiler() as prof:
+            x = Tensor(np.ones((4, 3)), requires_grad=True)
+            g = gather_rows(x, np.array([0, 1, 1, 3]))
+            s = segment_sum(g, np.array([0, 0, 1, 1]), 2)
+            m = spmm(sp.eye(2).tocsr(), s)
+            m.sum().backward()
+        for op in ("gather_rows", "segment_sum", "spmm", "sum"):
+            assert prof.stats[op].forward_calls == 1, op
+            assert prof.stats[op].backward_calls == 1, op
+
+    def test_backward_seconds_measured_even_after_exit(self):
+        with OpProfiler() as prof:
+            a = Tensor(np.ones(8), requires_grad=True)
+            loss = (a * 2.0).sum()
+        loss.backward()  # tape replay outside the context still counts
+        assert prof.stats["__mul__"].backward_calls == 1
+        assert prof.stats["__mul__"].backward_seconds >= 0.0
+
+    def test_reentry_accumulates(self):
+        prof = OpProfiler()
+        for _ in range(2):
+            with prof:
+                (Tensor([1.0], requires_grad=True) * 2.0).sum().backward()
+        assert prof.stats["__mul__"].forward_calls == 2
+
+    def test_nested_profilers_rejected(self):
+        with OpProfiler():
+            with pytest.raises(RuntimeError):
+                OpProfiler().__enter__()
+
+
+class TestReadouts:
+    def test_records_sorted_and_json_ready(self):
+        import json
+
+        with OpProfiler() as prof:
+            (Tensor([1.0, 2.0], requires_grad=True) * 2.0).sum().backward()
+        records = prof.records()
+        assert [set(r) for r in records] == [
+            {"op", "forward_calls", "forward_seconds", "backward_calls", "backward_seconds"}
+        ] * len(records)
+        json.dumps(records)  # must be JSON-serialisable as-is
+        totals = [r["forward_seconds"] + r["backward_seconds"] for r in records]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_table_lists_every_op(self):
+        with OpProfiler() as prof:
+            (Tensor([1.0], requires_grad=True) * 2.0).sum().backward()
+        table = prof.table()
+        assert "__mul__" in table and "sum" in table and "fwd calls" in table
+
+    def test_op_name_extraction(self):
+        assert _op_name("Tensor.__add__.<locals>.backward") == "__add__"
+        assert _op_name("gather_rows.<locals>.backward") == "gather_rows"
+        assert _op_name("weird_name") == "weird_name"

@@ -1,0 +1,150 @@
+"""RunRecorder: JSONL round-trips, envelope, stopwatch integration."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    EVENT_TYPES,
+    NullRecorder,
+    RunRecorder,
+    config_hash,
+    jsonable,
+    make_event,
+)
+from repro.utils import Stopwatch
+
+
+class TestEvents:
+    def test_make_event_envelope(self):
+        event = make_event("metric", 3, name="x", value=1.5)
+        assert event["event"] == "metric" and event["seq"] == 3
+        assert event["ts"] > 0 and event["name"] == "x"
+
+    def test_unknown_event_type_rejected(self):
+        with pytest.raises(ValueError):
+            make_event("bogus", 0)
+
+    def test_envelope_collision_rejected(self):
+        with pytest.raises(ValueError):
+            make_event("metric", 0, ts=9.0)
+
+    def test_jsonable_handles_numpy(self):
+        payload = jsonable({"a": np.float64(1.5), "b": np.arange(3), "c": (1, 2)})
+        assert json.loads(json.dumps(payload)) == {"a": 1.5, "b": [0, 1, 2], "c": [1, 2]}
+
+    def test_config_hash_stable_and_order_independent(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+        assert len(config_hash({"a": 1})) == 12
+
+
+class TestRunRecorder:
+    def test_every_line_round_trips_through_json_loads(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunRecorder(run_id="t", path=str(path)) as rec:
+            rec.run_start(config={"lr": 0.01}, seed=7, dataset="toy")
+            with rec.phase("explainable"):
+                rec.epoch("explainable", 0, 1.25, val_accuracy=0.5)
+            rec.pairs(num_anchors=4)
+            rec.metric("speed", np.float64(2.0))
+            rec.run_end(test_accuracy=0.9)
+        lines = path.read_text().strip().split("\n")
+        events = [json.loads(line) for line in lines]  # must not raise
+        assert [e["seq"] for e in events] == list(range(len(events)))
+        assert all(e["event"] in EVENT_TYPES for e in events)
+        kinds = [e["event"] for e in events]
+        assert kinds == ["run_start", "phase_start", "epoch", "phase_end",
+                         "pairs", "metric", "run_end"]
+
+    def test_run_start_carries_seed_and_config_hash(self):
+        buffer = io.StringIO()
+        rec = RunRecorder(run_id="t", path=buffer)
+        rec.run_start(config={"lr": 0.01}, seed=7, dataset="toy")
+        event = json.loads(buffer.getvalue())
+        assert event["seed"] == 7
+        assert event["dataset"] == "toy"
+        assert event["config"] == {"lr": 0.01}
+        assert event["config_hash"] == config_hash({"lr": 0.01})
+
+    def test_phase_feeds_shared_stopwatch(self):
+        buffer = io.StringIO()
+        rec = RunRecorder(run_id="t", path=buffer)
+        watch = Stopwatch()
+        with rec.phase("explainable", watch):
+            pass
+        end = [json.loads(l) for l in buffer.getvalue().strip().split("\n")][-1]
+        assert end["event"] == "phase_end"
+        # Single timing path: the stopwatch holds exactly the emitted seconds.
+        assert watch.durations["explainable"] == end["seconds"]
+
+    def test_phase_emits_on_exception(self):
+        buffer = io.StringIO()
+        rec = RunRecorder(run_id="t", path=buffer)
+        with pytest.raises(RuntimeError):
+            with rec.phase("p"):
+                raise RuntimeError("boom")
+        kinds = [json.loads(l)["event"] for l in buffer.getvalue().strip().split("\n")]
+        assert kinds == ["phase_start", "phase_end"]
+
+    def test_default_path_under_runs_dir(self, tmp_path):
+        rec = RunRecorder(run_id="abc", runs_dir=str(tmp_path / "runs"))
+        rec.metric("x", 1)
+        rec.close()
+        assert (tmp_path / "runs" / "abc.jsonl").exists()
+
+
+class TestNullRecorder:
+    def test_all_emitters_are_noops(self):
+        rec = NullRecorder()
+        rec.run_start(config={"a": 1})
+        rec.epoch("explainable", 0, 1.0)
+        rec.pairs(num_anchors=1)
+        rec.metric("m", 2)
+        rec.run_end()
+        rec.close()
+        assert rec.events == []
+        assert rec.enabled is False
+
+    def test_phase_still_feeds_stopwatch(self):
+        watch = Stopwatch()
+        with NullRecorder().phase("pairs", watch):
+            pass
+        assert "pairs" in watch.durations
+
+
+class TestTrainerIntegration:
+    def test_ses_trainer_emits_parseable_record(self, tiny_graph):
+        from repro.core import SESTrainer, fast_config
+
+        buffer = io.StringIO()
+        rec = RunRecorder(run_id="ses", path=buffer)
+        config = fast_config(explainable_epochs=3, predictive_epochs=2, hidden_features=8)
+        SESTrainer(tiny_graph, config, recorder=rec).fit()
+        events = [json.loads(l) for l in buffer.getvalue().strip().split("\n")]
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+        epochs = [e for e in events if e["event"] == "epoch"]
+        assert len([e for e in epochs if e["phase"] == "explainable"]) == 3
+        assert len([e for e in epochs if e["phase"] == "predictive"]) == 2
+        assert all("feature_mask_sparsity" in e
+                   for e in epochs if e["phase"] == "explainable")
+        phases = {e["phase"] for e in events if e["event"] == "phase_end"}
+        assert phases == {"setup", "explainable", "pairs", "predictive"}
+        pairs = [e for e in events if e["event"] == "pairs"]
+        assert pairs and pairs[0]["num_anchors"] >= 0
+
+    def test_trainer_without_recorder_matches_with_null_recorder(self, tiny_graph):
+        # Telemetry off must not perturb training trajectories.
+        from repro.core import SESTrainer, fast_config
+
+        config = fast_config(explainable_epochs=3, predictive_epochs=2, hidden_features=8)
+        plain = SESTrainer(tiny_graph, config).fit()
+        buffer = io.StringIO()
+        recorded = SESTrainer(
+            tiny_graph, config, recorder=RunRecorder(run_id="x", path=buffer)
+        ).fit()
+        assert plain.history.phase1_loss == recorded.history.phase1_loss
+        assert plain.test_accuracy == recorded.test_accuracy

@@ -1,0 +1,101 @@
+"""The obs-report summariser and CLI."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    OpProfiler,
+    RunRecorder,
+    load_events,
+    render_report,
+    report_path,
+    summarize_run,
+)
+from repro.obs import report as report_module
+from repro.tensor import Tensor
+
+
+def _write_run(path):
+    with RunRecorder(run_id="demo", path=str(path)) as rec:
+        rec.run_start(config={"lr": 0.01}, seed=0, dataset="cora")
+        with rec.phase("explainable"):
+            rec.epoch("explainable", 0, 2.0, val_accuracy=0.4)
+            rec.epoch("explainable", 1, 1.5, val_accuracy=0.6)
+        rec.pairs(num_anchors=10, num_positive=40, num_negative=38)
+        with rec.phase("predictive"):
+            rec.epoch("predictive", 0, 1.0)
+        with OpProfiler() as prof:
+            (Tensor([1.0, 2.0], requires_grad=True) * 2.0).sum().backward()
+        rec.record_profile(prof)
+        rec.metric("bench", 0.25, rounds=3)
+        rec.run_end(test_accuracy=0.8)
+
+
+class TestSummarize:
+    def test_phase_and_epoch_aggregation(self, tmp_path):
+        path = tmp_path / "demo.jsonl"
+        _write_run(path)
+        summary = summarize_run(load_events(str(path)))
+        assert summary["meta"]["dataset"] == "cora"
+        assert summary["phases"]["explainable"]["epochs"] == 2
+        assert summary["phases"]["explainable"]["last_loss"] == 1.5
+        assert summary["phases"]["explainable"]["last_val_accuracy"] == 0.6
+        assert summary["phases"]["predictive"]["epochs"] == 1
+        assert summary["pairs"][0]["num_anchors"] == 10
+        assert {p["op"] for p in summary["profile"]} == {"__mul__", "sum"}
+        assert summary["end"]["test_accuracy"] == 0.8
+
+    def test_load_events_rejects_malformed_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"event": "metric"}\nnot json\n')
+        with pytest.raises(ValueError, match="line|JSON|bad.jsonl:2"):
+            load_events(str(path))
+
+    def test_load_events_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "ok.jsonl"
+        path.write_text('{"event": "metric", "name": "x", "value": 1}\n\n')
+        assert len(load_events(str(path))) == 1
+
+
+class TestRender:
+    def test_report_contains_phase_and_profile_tables(self, tmp_path):
+        path = tmp_path / "demo.jsonl"
+        _write_run(path)
+        text = report_path(str(path))
+        assert "phase timings" in text
+        assert "op profile" in text
+        assert "explainable" in text and "predictive" in text
+        assert "__mul__" in text
+        assert "metrics" in text and "bench" in text
+        assert "run_end" in text and "0.8000" in text
+
+    def test_render_handles_minimal_run(self):
+        events = [{"event": "run_start", "seq": 0, "ts": 0.0, "run_id": "r"}]
+        text = render_report(summarize_run(events))
+        assert "run: r" in text
+
+
+class TestCli:
+    def test_report_main(self, tmp_path, capsys):
+        path = tmp_path / "demo.jsonl"
+        _write_run(path)
+        assert report_module.main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "phase timings" in out and "op profile" in out
+
+    def test_python_m_repro_obs_report_dispatch(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "demo.jsonl"
+        _write_run(path)
+        assert main(["obs-report", str(path)]) == 0
+        assert "phase timings" in capsys.readouterr().out
+
+    def test_multiple_paths_separated(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        _write_run(a)
+        _write_run(b)
+        assert report_module.main([str(a), str(b)]) == 0
+        assert "=" * 72 in capsys.readouterr().out

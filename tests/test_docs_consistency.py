@@ -21,6 +21,7 @@ class TestDocsExist:
             "docs/API.md",
             "docs/REPRODUCTION_NOTES.md",
             "docs/NOTATION.md",
+            "docs/OBSERVABILITY.md",
             "benchmarks/README.md",
         ],
     )
@@ -64,6 +65,23 @@ class TestTutorialImports:
             module = importlib.import_module(module_name)
             for name in names.split(","):
                 assert hasattr(module, name.strip()), f"{module_name}.{name}"
+
+
+class TestApiDocsCoverObs:
+    def test_every_obs_export_documented_in_api_md(self):
+        # docs/API.md must name every public symbol of repro.obs so the
+        # observability docs cannot silently rot as the surface grows.
+        obs = importlib.import_module("repro.obs")
+        api = (ROOT / "docs" / "API.md").read_text()
+        for symbol in obs.__all__:
+            assert symbol in api, f"repro.obs.{symbol} missing from docs/API.md"
+
+    def test_every_event_type_documented_in_observability_md(self):
+        from repro.obs import EVENT_TYPES
+
+        text = (ROOT / "docs" / "OBSERVABILITY.md").read_text()
+        for event in EVENT_TYPES:
+            assert f"`{event}`" in text, f"event {event!r} missing from OBSERVABILITY.md"
 
 
 class TestDesignIndex:

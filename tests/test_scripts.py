@@ -51,6 +51,30 @@ class TestGenerateExperiments:
         assert set(generator.ORDER) == set(ALL_EXPERIMENTS)
 
 
+class TestCheckDocs:
+    def test_repo_docs_python_blocks_compile(self):
+        # Tier-1 shim for the docs lint: every fenced python block in the
+        # observability/tutorial docs must at least compile.
+        checker = _load("check_docs")
+        assert checker.main([]) == 0
+
+    def test_detects_broken_block(self, tmp_path):
+        checker = _load("check_docs")
+        doc = tmp_path / "bad.md"
+        doc.write_text("intro\n```python\ndef broken(:\n```\n")
+        assert checker.main([str(doc)]) == 1
+
+    def test_block_extraction_ignores_other_languages(self):
+        checker = _load("check_docs")
+        text = "```bash\nls\n```\n```python\nx = 1\n```\n"
+        blocks = checker.python_blocks(text)
+        assert len(blocks) == 1 and blocks[0][1] == "x = 1"
+
+    def test_missing_file_fails(self, tmp_path):
+        checker = _load("check_docs")
+        assert checker.main([str(tmp_path / "nope.md")]) == 1
+
+
 class TestSelfcheckStructure:
     def test_selfcheck_has_check_helper(self):
         selfcheck = _load("selfcheck")

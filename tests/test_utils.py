@@ -52,6 +52,14 @@ class TestTiming:
     def test_format_duration_matches_paper_style(self, seconds, expected):
         assert format_duration(seconds) == expected
 
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [(119.7, "2 min 0s"), (119.4, "1 min 59s"), (59.9, "59.9s"), (3599.9, "60 min 0s")],
+    )
+    def test_format_duration_carries_rounded_seconds(self, seconds, expected):
+        # Regression: 119.7 used to render as the impossible "1 min 60s".
+        assert format_duration(seconds) == expected
+
 
 class TestFormatting:
     def test_format_table_alignment(self):
