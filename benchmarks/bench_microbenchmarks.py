@@ -8,12 +8,14 @@ against performance regressions in the from-scratch engine.
 With ``REPRO_TELEMETRY=1`` every benchmark also appends a ``metric``
 event (mean/stddev/rounds) to a ``results/runs/bench-micro-*.jsonl``
 record — the same schema the training recorder emits (see
-docs/OBSERVABILITY.md) — so bench history is diffable with
-``python -m repro obs-report``.
+docs/OBSERVABILITY.md) — and the module additionally writes
+``results/BENCH_obs.json`` (name + stats per benchmark), the artefact
+``python -m repro obs-diff`` consumes to gate bench regressions.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
 
@@ -27,7 +29,10 @@ from repro.nn import GCNConv, GATConv
 from repro.obs import NullRecorder, RunRecorder
 from repro.tensor import Tensor
 
+BENCH_JSON = os.path.join("results", "BENCH_obs.json")
+
 _RECORDER = None
+_BENCH_STATS = []
 
 
 def _recorder():
@@ -55,6 +60,35 @@ def _emit(benchmark, name):
             min=stats.min,
             max=stats.max,
         )
+        _BENCH_STATS.append({
+            "name": name,
+            "stats": {
+                "mean": stats.mean,
+                "stddev": stats.stddev,
+                "rounds": stats.rounds,
+                "min": stats.min,
+                "max": stats.max,
+            },
+        })
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _finalize_telemetry():
+    """Close the shared recorder (atomic .jsonl finalize) and write the
+    obs-diff bench artefact once the module's benchmarks are done."""
+    yield
+    global _RECORDER
+    if _RECORDER is not None and _RECORDER.enabled:
+        _RECORDER.close()
+        os.makedirs(os.path.dirname(BENCH_JSON), exist_ok=True)
+        with open(BENCH_JSON, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"suite": "bench_microbenchmarks", "benchmarks": _BENCH_STATS},
+                handle,
+                indent=2,
+            )
+    _RECORDER = None
+    _BENCH_STATS.clear()
 
 
 @pytest.fixture(scope="module")

@@ -79,6 +79,41 @@ def main() -> int:
         explanation = gex.explain_node(int(graph.extra["motif_nodes"][0]))
         assert explanation.edge_scores
 
+    def telemetry_roundtrip():
+        import io
+        import json
+
+        from repro.core import SESTrainer, fast_config
+        from repro.datasets import load_dataset
+        from repro.graph import classification_split
+        from repro.obs import RunRecorder, default_monitors, summarize_run
+
+        graph = classification_split(load_dataset("cora", scale=0.15, seed=0), seed=0)
+        config = fast_config("gcn", explainable_epochs=2, predictive_epochs=1, seed=0)
+        buffer = io.StringIO()
+        recorder = RunRecorder(run_id="selfcheck", path=buffer)
+        SESTrainer(
+            graph, config, recorder=recorder, monitors=default_monitors(recorder)
+        ).fit()
+        events = [json.loads(line) for line in buffer.getvalue().strip().split("\n")]
+        summary = summarize_run(events)
+        assert summary["phases"]["explainable"]["epochs"] == 2
+        assert summary["spans"], "span events missing"
+        assert any(key.startswith("grad_stats") for key in summary["health"])
+        assert any(key.startswith("mask_health") for key in summary["health"])
+
+    def nan_watchdog():
+        from repro.obs import NaNWatchdog
+        from repro.tensor import Tensor
+
+        watchdog = NaNWatchdog()
+        with watchdog:
+            x = Tensor(np.ones(3), requires_grad=True)
+            x * np.array([1.0, np.inf, 1.0])
+        assert watchdog.anomalies, "watchdog missed an injected inf"
+        assert watchdog.anomalies[0]["op"] == "__mul__"
+        assert watchdog.anomalies[0]["kind"] == "inf"
+
     def serialisation():
         import tempfile
         from pathlib import Path
@@ -98,6 +133,8 @@ def main() -> int:
     check("baseline classifier", baseline, results)
     check("SES two-phase pipeline", ses, results)
     check("post-hoc explainer", explainer, results)
+    check("telemetry round-trip", telemetry_roundtrip, results)
+    check("NaN watchdog", nan_watchdog, results)
     check("serialisation round-trip", serialisation, results)
 
     failed = [name for name, ok, *_ in results if not ok]

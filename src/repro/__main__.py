@@ -1,12 +1,17 @@
 """``python -m repro <experiment>`` — shortcut to the experiment CLI.
 
 Equivalent to ``python examples/run_experiments.py``; see
-:mod:`repro.experiments` for the available names.  Two extras:
+:mod:`repro.experiments` for the available names.  Extras:
 
 * ``python -m repro obs-report results/runs/<run>.jsonl`` renders a
-  telemetry run record (phase timings, epochs, op profile) — see
-  docs/OBSERVABILITY.md.
-* ``--telemetry`` makes every experiment harness write such records under
+  telemetry run record (phase timings, span tree, training health, op
+  profile) — see docs/OBSERVABILITY.md.
+* ``python -m repro obs-diff BASELINE CURRENT [--max-regress pct]`` diffs
+  two run records (or bench JSONs) and exits non-zero on regressions —
+  the CI gate; with one path, diffs against the committed baseline.
+* ``python -m repro doctor`` runs scripts/selfcheck.py +
+  scripts/check_docs.py and prints one PASS/FAIL summary.
+* ``--telemetry`` makes every experiment harness write run records under
   ``results/runs/`` (sets ``REPRO_TELEMETRY=1`` for the invocation).
 """
 
@@ -19,6 +24,8 @@ import time
 
 from .experiments import ALL_EXPERIMENTS, get_profile
 
+SUBCOMMANDS = ("obs-report", "obs-diff", "doctor")
+
 
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -26,10 +33,18 @@ def main(argv=None) -> int:
         from .obs import report
 
         return report.main(argv[1:])
+    if argv and argv[0] == "obs-diff":
+        from .obs import diff
+
+        return diff.main(argv[1:])
+    if argv and argv[0] == "doctor":
+        from . import doctor
+
+        return doctor.main(argv[1:])
 
     parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
     parser.add_argument(
-        "experiment", choices=sorted(ALL_EXPERIMENTS) + ["all", "obs-report"]
+        "experiment", choices=sorted(ALL_EXPERIMENTS) + ["all", *SUBCOMMANDS]
     )
     parser.add_argument("--profile", default=None, choices=["quick", "standard", "full"])
     parser.add_argument(

@@ -46,7 +46,7 @@ from ..tensor import (
     segment_mean,
     segment_sum,
 )
-from ..obs import NullRecorder, default_recorder
+from ..obs import MonitorSet, NullRecorder, default_monitors, default_recorder
 from ..utils import Stopwatch, make_rng
 from .config import SESConfig
 from .explanations import Explanations
@@ -138,6 +138,7 @@ class SESTrainer:
         config: Optional[SESConfig] = None,
         rng: Optional[np.random.Generator] = None,
         recorder: Optional[NullRecorder] = None,
+        monitors: Optional[MonitorSet] = None,
     ) -> None:
         if graph.labels is None or graph.train_mask is None:
             raise ValueError("SES requires labels and split masks on the graph")
@@ -152,6 +153,10 @@ class SESTrainer:
                 f"{graph.name}-{self.config.backbone}-seed{self.config.seed}"
             )
             self._owns_recorder = self.recorder.enabled
+        # Training-health monitors ride along with telemetry by default
+        # (REPRO_MONITORS=0 opts out); a falsy MonitorSet costs one branch
+        # per epoch and computes nothing.
+        self.monitors = monitors if monitors is not None else default_monitors(self.recorder)
         if self.recorder.enabled:
             self.recorder.run_start(
                 config=self.config,
@@ -260,66 +265,88 @@ class SESTrainer:
         optimizer = Adam(params, lr=cfg.learning_rate, weight_decay=cfg.weight_decay)
         graph, model = self.graph, self.model
         snapshot_set = set(snapshot_epochs)
-        with self.recorder.phase("explainable", self.stopwatch):
+        with self.recorder.phase("explainable", self.stopwatch), \
+                self.monitors.watch("explainable"):
             for epoch in range(epochs):
                 if cfg.resample_negatives and epoch > 0:
                     self._resample_negatives()
                 model.train()
                 optimizer.zero_grad()
-                hidden, representation, logits = model.encoder.forward_full(
-                    self.features, self.edge_index, self.num_nodes
-                )
-                scorer_input = (
-                    representation
-                    if cfg.structure_scorer_input == "representation"
-                    else hidden
-                )
-                feature_mask = model.mask_generator.feature_mask(hidden)
-                structure_mask = model.mask_generator.structure_mask(
-                    scorer_input, self.khop_edges
-                )
-                negative_mask = model.mask_generator.negative_mask(
-                    scorer_input, self.negative_pairs
-                )
-                plain_xent = F.cross_entropy(logits, graph.labels, mask=graph.train_mask)
-                sub_loss = subgraph_loss(
-                    structure_mask,
-                    negative_mask,
-                    self.khop_edges,
-                    self.negative_pairs,
-                    labels=graph.labels,
-                    train_mask=graph.train_mask,
-                    target_mode=cfg.subgraph_target,
-                )
-                masked_xent = None
-                probe = None
-                if cfg.use_masked_xent:
-                    masked_features = (
-                        self.features * feature_mask
-                        if cfg.use_feature_mask
-                        else self.features
+                self.monitors.set_context(phase="explainable", epoch=epoch)
+                with self.recorder.span(f"epoch{epoch}"):
+                    with self.recorder.span("forward"):
+                        hidden, representation, logits = model.encoder.forward_full(
+                            self.features, self.edge_index, self.num_nodes
+                        )
+                        scorer_input = (
+                            representation
+                            if cfg.structure_scorer_input == "representation"
+                            else hidden
+                        )
+                        feature_mask = model.mask_generator.feature_mask(hidden)
+                        structure_mask = model.mask_generator.structure_mask(
+                            scorer_input, self.khop_edges
+                        )
+                        negative_mask = model.mask_generator.negative_mask(
+                            scorer_input, self.negative_pairs
+                        )
+                        plain_xent = F.cross_entropy(
+                            logits, graph.labels, mask=graph.train_mask
+                        )
+                        sub_loss = subgraph_loss(
+                            structure_mask,
+                            negative_mask,
+                            self.khop_edges,
+                            self.negative_pairs,
+                            labels=graph.labels,
+                            train_mask=graph.train_mask,
+                            target_mode=cfg.subgraph_target,
+                        )
+                        masked_xent = None
+                        probe = None
+                        if cfg.use_masked_xent:
+                            masked_features = (
+                                self.features * feature_mask
+                                if cfg.use_feature_mask
+                                else self.features
+                            )
+                            # A zero additive probe exposes the per-edge
+                            # sensitivity of the masked loss
+                            # (probe.grad = dL/dw_e) without changing the
+                            # forward pass; accumulated over the second half
+                            # of training it becomes the sensitivity component
+                            # of E_sub (config.structure_explanation).
+                            probe = Tensor(
+                                np.zeros(self.khop_edges.shape[1]), requires_grad=True
+                            )
+                            masked_logits = model.encoder(
+                                masked_features,
+                                self.khop_edges,
+                                self.num_nodes,
+                                edge_weight=structure_mask + probe,
+                            )
+                            masked_xent = F.cross_entropy(
+                                masked_logits, graph.labels, mask=graph.train_mask
+                            )
+                        loss = explainable_training_loss(
+                            plain_xent, masked_xent, sub_loss, cfg.alpha,
+                            sub_loss_weight=cfg.sub_loss_weight,
+                        )
+                    with self.recorder.span("backward"):
+                        loss.backward()
+                    optimizer.step()
+                if self.monitors:
+                    self.monitors.after_backward(
+                        "explainable", epoch, self.model.named_parameters()
                     )
-                    # A zero additive probe exposes the per-edge sensitivity
-                    # of the masked loss (probe.grad = dL/dw_e) without
-                    # changing the forward pass; accumulated over the second
-                    # half of training it becomes the sensitivity component
-                    # of E_sub (config.structure_explanation).
-                    probe = Tensor(np.zeros(self.khop_edges.shape[1]), requires_grad=True)
-                    masked_logits = model.encoder(
-                        masked_features,
-                        self.khop_edges,
-                        self.num_nodes,
-                        edge_weight=structure_mask + probe,
+                    self.monitors.observe_masks(
+                        "explainable", epoch,
+                        feature=feature_mask.data, structure=structure_mask.data,
                     )
-                    masked_xent = F.cross_entropy(
-                        masked_logits, graph.labels, mask=graph.train_mask
+                    self.monitors.observe_activations(
+                        "explainable", epoch,
+                        hidden=hidden.data, logits=logits.data,
                     )
-                loss = explainable_training_loss(
-                    plain_xent, masked_xent, sub_loss, cfg.alpha,
-                    sub_loss_weight=cfg.sub_loss_weight,
-                )
-                loss.backward()
-                optimizer.step()
                 if probe is not None and probe.grad is not None and epoch >= epochs // 2:
                     # Negative gradient: making this edge heavier lowers the
                     # masked classification loss -> the edge is important.
@@ -458,30 +485,64 @@ class SESTrainer:
                 self.pairs, self.num_nodes
             )
             num_anchors = len(anchors)
-        with self.recorder.phase("predictive", self.stopwatch):
+        with self.recorder.phase("predictive", self.stopwatch), \
+                self.monitors.watch("predictive"):
             for epoch in range(epochs):
                 model.train()
                 optimizer.zero_grad()
-                _, representation, logits = model.encoder.forward_full(
-                    features, self.edge_index, self.num_nodes, edge_weight=edge_weight
-                )
-                xent = None
-                if cfg.use_xent_in_phase2:
-                    xent = F.cross_entropy(logits, graph.labels, mask=graph.train_mask)
-                triplet = None
-                if cfg.use_triplet and num_anchors > 0:
-                    # Eq. 11: the triplet acts on the encoder's output
-                    # representation (128-d in the paper), not on logits.
-                    pool = segment_mean if cfg.triplet_pooling == "mean" else segment_sum
-                    positive = pool(gather_rows(representation, pos_index), pos_segment, num_anchors)
-                    negative = pool(gather_rows(representation, neg_index), neg_segment, num_anchors)
-                    anchor = gather_rows(representation, anchors)
-                    triplet = F.triplet_margin_loss(
-                        anchor, positive, negative, margin=cfg.margin
+                self.monitors.set_context(phase="predictive", epoch=epoch)
+                anchor = positive = negative = None
+                with self.recorder.span(f"epoch{epoch}"):
+                    with self.recorder.span("forward"):
+                        _, representation, logits = model.encoder.forward_full(
+                            features, self.edge_index, self.num_nodes,
+                            edge_weight=edge_weight,
+                        )
+                        xent = None
+                        if cfg.use_xent_in_phase2:
+                            xent = F.cross_entropy(
+                                logits, graph.labels, mask=graph.train_mask
+                            )
+                        triplet = None
+                        if cfg.use_triplet and num_anchors > 0:
+                            # Eq. 11: the triplet acts on the encoder's output
+                            # representation (128-d in the paper), not on logits.
+                            pool = (
+                                segment_mean
+                                if cfg.triplet_pooling == "mean"
+                                else segment_sum
+                            )
+                            positive = pool(
+                                gather_rows(representation, pos_index),
+                                pos_segment, num_anchors,
+                            )
+                            negative = pool(
+                                gather_rows(representation, neg_index),
+                                neg_segment, num_anchors,
+                            )
+                            anchor = gather_rows(representation, anchors)
+                            triplet = F.triplet_margin_loss(
+                                anchor, positive, negative, margin=cfg.margin
+                            )
+                        loss = predictive_learning_loss(triplet, xent, cfg.beta)
+                    with self.recorder.span("backward"):
+                        loss.backward()
+                    optimizer.step()
+                if self.monitors:
+                    self.monitors.after_backward(
+                        "predictive", epoch, self.model.encoder.named_parameters()
                     )
-                loss = predictive_learning_loss(triplet, xent, cfg.beta)
-                loss.backward()
-                optimizer.step()
+                    self.monitors.observe_activations(
+                        "predictive", epoch,
+                        representation=representation.data, logits=logits.data,
+                    )
+                    if anchor is not None:
+                        self.monitors.observe_triplet(
+                            "predictive", epoch,
+                            np.linalg.norm(anchor.data - positive.data, axis=1),
+                            np.linalg.norm(anchor.data - negative.data, axis=1),
+                            cfg.margin,
+                        )
 
                 self.history.phase2_loss.append(loss.item())
                 if graph.val_mask is not None and graph.val_mask.any():

@@ -1,0 +1,96 @@
+"""``python -m repro doctor`` — one-command repository health check.
+
+Runs the repository's standalone check scripts —
+
+* ``scripts/selfcheck.py`` — 60-second end-to-end pipeline check (now
+  including a telemetry round-trip and the NaN-watchdog check), and
+* ``scripts/check_docs.py`` — compile-lints every fenced python block in
+  the docs —
+
+as subprocesses and prints a single PASS/FAIL summary line.  Exit code 0
+only when every check passed, so ``python -m repro doctor`` is the one
+thing to run before pushing.
+
+``--only selfcheck`` / ``--only docs`` restricts to a subset (repeatable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+ROOT = Path(__file__).resolve().parents[2]
+
+CHECKS: Dict[str, str] = {
+    "selfcheck": "scripts/selfcheck.py",
+    "docs": "scripts/check_docs.py",
+}
+
+
+def run_check(name: str, script: Path, root: Path) -> Dict[str, object]:
+    """Run one check script in a subprocess; capture status and timing."""
+    env = dict(os.environ)
+    src = str(root / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    start = time.perf_counter()
+    process = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=str(root),
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    return {
+        "name": name,
+        "ok": process.returncode == 0,
+        "seconds": time.perf_counter() - start,
+        "output": process.stdout + process.stderr,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None, root: Optional[Path] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro doctor",
+        description="Run the repository self-check + docs lint; print PASS/FAIL.",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        choices=sorted(CHECKS),
+        help="run only this check (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="echo each check's full output"
+    )
+    args = parser.parse_args(argv)
+    root = root or ROOT
+    selected = args.only or sorted(CHECKS)
+
+    results: List[Dict[str, object]] = []
+    for name in selected:
+        script = root / CHECKS[name]
+        if not script.exists():
+            result = {"name": name, "ok": False, "seconds": 0.0,
+                      "output": f"missing script: {script}"}
+        else:
+            result = run_check(name, script, root)
+        results.append(result)
+        status = "PASS" if result["ok"] else "FAIL"
+        print(f"  {status}  {name} ({result['seconds']:.1f}s)")
+        if args.verbose or not result["ok"]:
+            for line in str(result["output"]).strip().splitlines():
+                print(f"        {line}")
+
+    passed = sum(1 for r in results if r["ok"])
+    verdict = "PASS" if passed == len(results) else "FAIL"
+    print(f"doctor: {verdict} ({passed}/{len(results)} checks)")
+    return 0 if verdict == "PASS" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,19 +1,43 @@
-"""repro.obs — run telemetry and op-level profiling.
+"""repro.obs — run telemetry, op-level profiling, and training health.
 
 The observability layer of the reproduction (docs/OBSERVABILITY.md):
 
 * :class:`OpProfiler` — zero-overhead-when-disabled op-level profiler for
-  the autograd engine (per-op forward/backward counts and wall time).
+  the autograd engine (per-op forward/backward counts, wall time, and
+  bytes allocated; peak live tensor bytes via ``repro.tensor.alloc``).
 * :class:`RunRecorder` / :class:`NullRecorder` — structured JSON-lines run
   records (``results/runs/*.jsonl``): epoch losses, mask sparsity, pair
-  counts, phase timings, RNG seed and config hash.
+  counts, phase timings, hierarchical trace spans, RNG seed and config
+  hash.  Records finalize atomically (``.tmp`` + rename + fsync).
+* :mod:`repro.obs.monitors` — composable training-health monitors
+  (gradient/parameter/activation statistics via streaming Welford
+  accumulators, SES mask health, triplet margins) and the
+  :class:`NaNWatchdog` that turns NaN/Inf into structured
+  ``numerical_event``\\ s naming the offending op.
 * :mod:`repro.obs.report` — ``python -m repro obs-report run.jsonl``
-  renders a per-phase timing summary and the op profile table.
+  renders timings, span tree, health summaries and the op profile.
+* :mod:`repro.obs.diff` — ``python -m repro obs-diff BASELINE CURRENT``
+  diffs two records and exits non-zero on regressions (the CI gate).
 * :func:`make_event` / :func:`config_hash` / :data:`EVENT_TYPES` — the
   event schema itself.
 """
 
+from .diff import DEFAULT_BASELINE, diff_metrics, run_metrics
 from .events import EVENT_TYPES, SCHEMA_VERSION, config_hash, jsonable, make_event
+from .monitors import (
+    ActivationStatsMonitor,
+    GradStatsMonitor,
+    MaskHealthMonitor,
+    Monitor,
+    MonitorSet,
+    NaNWatchdog,
+    NumericalAnomalyError,
+    ParamStatsMonitor,
+    TripletMarginMonitor,
+    Welford,
+    default_monitors,
+    monitors_enabled,
+)
 from .profiler import OpProfiler, OpStat, active_profiler
 from .recorder import (
     DEFAULT_RUNS_DIR,
@@ -22,7 +46,13 @@ from .recorder import (
     default_recorder,
     telemetry_enabled,
 )
-from .report import load_events, render_report, report_path, summarize_run
+from .report import (
+    load_events,
+    normalize_span_path,
+    render_report,
+    report_path,
+    summarize_run,
+)
 
 __all__ = [
     "EVENT_TYPES",
@@ -38,8 +68,24 @@ __all__ = [
     "RunRecorder",
     "default_recorder",
     "telemetry_enabled",
+    "Monitor",
+    "MonitorSet",
+    "Welford",
+    "GradStatsMonitor",
+    "ParamStatsMonitor",
+    "ActivationStatsMonitor",
+    "MaskHealthMonitor",
+    "TripletMarginMonitor",
+    "NaNWatchdog",
+    "NumericalAnomalyError",
+    "default_monitors",
+    "monitors_enabled",
     "load_events",
+    "normalize_span_path",
     "render_report",
     "report_path",
     "summarize_run",
+    "DEFAULT_BASELINE",
+    "run_metrics",
+    "diff_metrics",
 ]

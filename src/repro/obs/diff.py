@@ -1,0 +1,226 @@
+"""``obs-diff``: compare two recorded runs and gate on regressions.
+
+``python -m repro obs-diff BASELINE CURRENT [--max-regress pct]`` loads two
+telemetry artefacts — JSONL run records (``results/runs/*.jsonl``) or bench
+JSON (``BENCH_*.json``, the shape ``bench_microbenchmarks`` writes) — folds
+each into a flat metric set, prints a delta table, and exits non-zero when
+the current run regresses past the thresholds.  That makes it a CI gate:
+commit a baseline record once, and every future PR diffs against it.
+
+Metric orientations:
+
+* **higher-is-better** (accuracies) — gated by ``--max-regress`` (percent,
+  default 1.0): ``current < baseline * (1 - pct/100)`` fails.
+* **lower-is-better** (phase timings, op totals, bench means) — gated only
+  when ``--max-slowdown`` is given, because wall-clock is machine-noisy;
+  accuracy regressions are never noise.
+* **informational** (losses, allocation bytes) — shown in the table, never
+  gated.
+
+With a single positional argument the baseline defaults to the committed
+:data:`DEFAULT_BASELINE` record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..utils.logging import format_table
+from .report import load_events, summarize_run
+
+DEFAULT_BASELINE = os.path.join("results", "runs", "baseline_cora_small.jsonl")
+
+HIGHER, LOWER, INFO = "higher", "lower", "info"
+
+
+def run_metrics(path: str) -> Dict[str, Tuple[float, str]]:
+    """Flatten one artefact into ``{metric: (value, orientation)}``.
+
+    ``.jsonl`` paths parse as run records; anything else as bench JSON with
+    a ``benchmarks: [{name, stats: {mean, ...}}]`` list.
+    """
+    if path.endswith(".jsonl"):
+        return _from_run_record(summarize_run(load_events(path)))
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return _from_bench_json(payload, path)
+
+
+def _from_run_record(summary: Dict[str, Any]) -> Dict[str, Tuple[float, str]]:
+    metrics: Dict[str, Tuple[float, str]] = {}
+    end = summary.get("end", {})
+    for key in ("test_accuracy", "val_accuracy"):
+        if isinstance(end.get(key), (int, float)):
+            metrics[key] = (float(end[key]), HIGHER)
+    total = 0.0
+    for name, slot in summary.get("phases", {}).items():
+        seconds = float(slot.get("seconds", 0.0))
+        total += seconds
+        metrics[f"time/{name}"] = (seconds, LOWER)
+        if slot.get("last_loss") is not None:
+            metrics[f"loss/{name}/final"] = (float(slot["last_loss"]), INFO)
+    if summary.get("phases"):
+        metrics["time/total"] = (total, LOWER)
+    trajectories = summary.get("losses", {})
+    for name, losses in trajectories.items():
+        if losses:
+            metrics[f"loss/{name}/mean"] = (sum(losses) / len(losses), INFO)
+    for row in summary.get("profile", []):
+        op = row.get("op", "?")
+        metrics[f"op/{op}"] = (
+            float(row.get("forward_seconds", 0.0)) + float(row.get("backward_seconds", 0.0)),
+            LOWER,
+        )
+    alloc = summary.get("alloc", {})
+    for key in ("bytes_allocated", "peak_live_bytes"):
+        if key in alloc:
+            metrics[f"alloc/{key}"] = (float(alloc[key]), INFO)
+    for metric in summary.get("metrics", []):
+        name, value = metric.get("name"), metric.get("value")
+        if name is not None and isinstance(value, (int, float)):
+            # metric events in run records are bench means (seconds).
+            metrics[f"metric/{name}"] = (float(value), LOWER)
+    return metrics
+
+
+def _from_bench_json(payload: Any, path: str) -> Dict[str, Tuple[float, str]]:
+    benchmarks = payload.get("benchmarks") if isinstance(payload, dict) else None
+    if not isinstance(benchmarks, list):
+        raise ValueError(f"{path}: not a bench JSON (missing 'benchmarks' list)")
+    metrics: Dict[str, Tuple[float, str]] = {}
+    for bench in benchmarks:
+        name = bench.get("name", "?")
+        stats = bench.get("stats", {})
+        if isinstance(stats.get("mean"), (int, float)):
+            metrics[f"bench/{name}"] = (float(stats["mean"]), LOWER)
+    return metrics
+
+
+def diff_metrics(
+    baseline: Dict[str, Tuple[float, str]],
+    current: Dict[str, Tuple[float, str]],
+    max_regress: float = 1.0,
+    max_slowdown: Optional[float] = None,
+) -> Tuple[List[List[Any]], List[str]]:
+    """Return (table rows, violation descriptions) for the shared metrics."""
+    rows: List[List[Any]] = []
+    violations: List[str] = []
+    for name in sorted(set(baseline) & set(current)):
+        base, orientation = baseline[name]
+        cur = current[name][0]
+        delta = cur - base
+        pct = (delta / abs(base) * 100.0) if base else 0.0
+        status = ""
+        if orientation == HIGHER and base > 0 and cur < base * (1.0 - max_regress / 100.0):
+            status = "REGRESS"
+            violations.append(
+                f"{name}: {cur:.4f} vs baseline {base:.4f} "
+                f"({pct:+.2f}% < -{max_regress:g}%)"
+            )
+        elif (
+            orientation == LOWER
+            and max_slowdown is not None
+            and base > 0
+            and cur > base * (1.0 + max_slowdown / 100.0)
+        ):
+            status = "REGRESS"
+            violations.append(
+                f"{name}: {cur:.4f}s vs baseline {base:.4f}s "
+                f"({pct:+.2f}% > +{max_slowdown:g}%)"
+            )
+        rows.append([name, base, cur, delta, f"{pct:+.2f}%", status])
+    return rows, violations
+
+
+def render_diff(
+    baseline_path: str,
+    current_path: str,
+    rows: List[List[Any]],
+    only_in: Dict[str, List[str]],
+) -> str:
+    blocks = [f"baseline: {baseline_path}\ncurrent:  {current_path}"]
+    if rows:
+        blocks.append(
+            format_table(
+                ["metric", "baseline", "current", "delta", "delta %", ""],
+                rows,
+                title="run delta",
+                float_format="{:.4f}",
+            )
+        )
+    else:
+        blocks.append("no shared metrics between the two records")
+    for label, names in only_in.items():
+        if names:
+            shown = ", ".join(names[:8]) + (" ..." if len(names) > 8 else "")
+            blocks.append(f"only in {label}: {shown}")
+    return "\n\n".join(blocks)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs-diff",
+        description="Diff two telemetry artefacts (run .jsonl or bench .json) "
+        "and exit non-zero on regressions.",
+    )
+    parser.add_argument(
+        "records",
+        nargs="+",
+        help="BASELINE CURRENT, or just CURRENT to diff against "
+        f"the committed {DEFAULT_BASELINE}",
+    )
+    parser.add_argument(
+        "--max-regress",
+        type=float,
+        default=1.0,
+        metavar="PCT",
+        help="fail when a higher-is-better metric (accuracy) drops by more "
+        "than PCT percent (default: 1.0)",
+    )
+    parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="also fail when a timing/bench metric grows by more than PCT "
+        "percent (off by default: wall-clock is machine-noisy)",
+    )
+    args = parser.parse_args(argv)
+    if len(args.records) == 1:
+        baseline_path, current_path = DEFAULT_BASELINE, args.records[0]
+    elif len(args.records) == 2:
+        baseline_path, current_path = args.records
+    else:
+        print("obs-diff: expected 1 or 2 record paths", file=sys.stderr)
+        return 2
+
+    try:
+        baseline = run_metrics(baseline_path)
+        current = run_metrics(current_path)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"obs-diff: {error}", file=sys.stderr)
+        return 2
+
+    rows, violations = diff_metrics(
+        baseline, current, max_regress=args.max_regress, max_slowdown=args.max_slowdown
+    )
+    only_in = {
+        "baseline": sorted(set(baseline) - set(current)),
+        "current": sorted(set(current) - set(baseline)),
+    }
+    print(render_diff(baseline_path, current_path, rows, only_in))
+    if violations:
+        print("\nREGRESSIONS:")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    print("\nno regressions past thresholds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,13 @@
 """Structured telemetry events (the JSON-lines run-record schema).
 
 Every line in a ``results/runs/*.jsonl`` file is one event: a flat JSON
-object with three envelope fields added by :func:`make_event` —
+object with four envelope fields added by :func:`make_event` —
 
 * ``event`` — the event type (one of :data:`EVENT_TYPES`),
 * ``seq``   — 0-based position of the event within its run,
-* ``ts``    — wall-clock UNIX timestamp at emission.
+* ``ts``    — wall-clock UNIX timestamp at emission,
+* ``schema_version`` — :data:`SCHEMA_VERSION` at emission, so mixed-age
+  archives under ``results/runs/`` stay interpretable line-by-line.
 
 plus the type-specific payload documented in ``docs/OBSERVABILITY.md``.
 Events stay flat and JSON-primitive on purpose: a run record must survive
@@ -21,17 +23,30 @@ import time
 from dataclasses import asdict, is_dataclass
 from typing import Any, Dict, Mapping
 
-SCHEMA_VERSION = 1
-"""Bumped whenever an existing event type changes shape."""
+SCHEMA_VERSION = 2
+"""Bumped whenever an existing event type changes shape.
+
+v2: ``schema_version`` moved into the envelope of *every* event (it was a
+``run_start`` payload field in v1), and the monitor/span/alloc event types
+below were added.
+"""
 
 EVENT_TYPES = (
     "run_start",
     "phase_start",
     "phase_end",
+    "span",
     "epoch",
     "pairs",
     "metric",
     "profile",
+    "alloc",
+    "grad_stats",
+    "param_stats",
+    "activation_stats",
+    "mask_health",
+    "triplet_margin",
+    "numerical_event",
     "run_end",
 )
 """Every event type the recorder may emit (see docs/OBSERVABILITY.md)."""
@@ -64,7 +79,12 @@ def make_event(event: str, seq: int, **payload: Any) -> Dict[str, Any]:
     """Assemble one schema-conforming event dict (envelope + payload)."""
     if event not in EVENT_TYPES:
         raise ValueError(f"unknown event type {event!r}; known: {EVENT_TYPES}")
-    record: Dict[str, Any] = {"event": event, "seq": seq, "ts": time.time()}
+    record: Dict[str, Any] = {
+        "event": event,
+        "seq": seq,
+        "ts": time.time(),
+        "schema_version": SCHEMA_VERSION,
+    }
     for key, value in payload.items():
         if key in record:
             raise ValueError(f"payload field {key!r} collides with the envelope")

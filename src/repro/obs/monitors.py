@@ -1,0 +1,553 @@
+"""Training-health monitors: streaming statistics, mask health, NaN watchdog.
+
+SES training is a two-phase optimisation whose failure modes are silent —
+a saturating mask generator, a collapsing triplet loss, or an exploding
+gradient all surface only as a bad final accuracy.  This module turns those
+failure modes into structured telemetry events (:mod:`repro.obs.events`):
+
+* :class:`Welford` — a streaming (single-pass, constant-memory) accumulator
+  for count / mean / variance / norm / fraction-zero over arbitrarily many
+  arrays, using the numerically-stable Welford/Chan merge.
+* :class:`GradStatsMonitor` / :class:`ParamStatsMonitor` /
+  :class:`ActivationStatsMonitor` — per-epoch gradient, parameter and
+  activation statistics (``grad_stats`` / ``param_stats`` /
+  ``activation_stats`` events).
+* :class:`MaskHealthMonitor` — SES-specific: saturation and Bernoulli
+  entropy of the feature/structure masks (``mask_health``), the symptoms of
+  GNNExplainer-style mask collapse.
+* :class:`TripletMarginMonitor` — phase-2 triplet-pair margin distribution
+  (``triplet_margin``): how many anchor pairs still violate the margin.
+* :class:`NaNWatchdog` — hooks ``Tensor._make`` (the same choke point
+  :class:`~repro.obs.profiler.OpProfiler` uses) and every recorded backward
+  closure; the first NaN/Inf produces a ``numerical_event`` naming the
+  offending op, direction, phase and epoch — or raises
+  :class:`NumericalAnomalyError` in ``action="raise"`` mode.
+* :class:`MonitorSet` — the composition the trainer talks to: one object,
+  any subset of monitors, dispatched behind a single truthiness check so a
+  disabled set costs one branch per call site and nothing else.
+
+Everything here is opt-in behind the ``--telemetry`` / ``REPRO_TELEMETRY``
+surface (see :func:`default_monitors`); with telemetry off the trainer holds
+a falsy :class:`MonitorSet` and never computes a statistic.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..tensor.tensor import Tensor
+from .profiler import _op_name
+from .recorder import NullRecorder
+
+
+# ----------------------------------------------------------------------
+# Streaming statistics
+# ----------------------------------------------------------------------
+class Welford:
+    """Streaming mean/variance/norm/zero-fraction accumulator.
+
+    Feeds on whole arrays (:meth:`update`) and merges with other
+    accumulators (:meth:`merge`) using the parallel variance combination of
+    Chan et al., so statistics over a training run never require holding
+    more than O(1) state.  Variance is the population variance (``ddof=0``),
+    matching ``numpy.var``'s default — the property tests pin this.
+    """
+
+    __slots__ = ("count", "mean", "_m2", "_sumsq", "_zeros", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self._sumsq = 0.0
+        self._zeros = 0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def update(self, values: Any) -> "Welford":
+        """Fold an array (any shape) into the running statistics."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        n = int(values.size)
+        if n == 0:
+            return self
+        batch_mean = float(values.mean())
+        batch_m2 = float(np.square(values - batch_mean).sum())
+        delta = batch_mean - self.mean
+        total = self.count + n
+        self.mean += delta * n / total
+        self._m2 += batch_m2 + delta * delta * self.count * n / total
+        self.count = total
+        self._sumsq += float(np.square(values).sum())
+        self._zeros += int(n - np.count_nonzero(values))
+        self.min = min(self.min, float(values.min()))
+        self.max = max(self.max, float(values.max()))
+        return self
+
+    def merge(self, other: "Welford") -> "Welford":
+        """Combine another accumulator into this one (Chan et al. merge)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            for slot in self.__slots__:
+                setattr(self, slot, getattr(other, slot))
+            return self
+        delta = other.mean - self.mean
+        total = self.count + other.count
+        self.mean += delta * other.count / total
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.count = total
+        self._sumsq += other._sumsq
+        self._zeros += other._zeros
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+    @property
+    def variance(self) -> float:
+        """Population variance (``ddof=0``); 0.0 before any update."""
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(max(self.variance, 0.0))
+
+    @property
+    def norm(self) -> float:
+        """L2 norm over every element seen so far."""
+        return math.sqrt(self._sumsq)
+
+    @property
+    def frac_zero(self) -> float:
+        return self._zeros / self.count if self.count else 0.0
+
+    @property
+    def max_abs(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return max(abs(self.min), abs(self.max))
+
+    def summary(self) -> Dict[str, float]:
+        """JSON-ready statistics dict (the monitor event payload core)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "norm": self.norm,
+            "frac_zero": self.frac_zero,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+
+# ----------------------------------------------------------------------
+# Monitors
+# ----------------------------------------------------------------------
+class Monitor:
+    """Base monitor: every hook is a no-op; subclasses implement a subset.
+
+    ``every`` subsamples epochs (``epoch % every == 0`` fires) so expensive
+    statistics can run sparsely on long runs without changing call sites.
+    """
+
+    def __init__(self, every: int = 1) -> None:
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.every = every
+
+    def _due(self, epoch: int) -> bool:
+        return epoch % self.every == 0
+
+    def after_backward(
+        self,
+        recorder,
+        phase: str,
+        epoch: int,
+        named_params: Sequence[Tuple[str, Tensor]],
+    ) -> None:
+        pass
+
+    def observe_activations(
+        self, recorder, phase: str, epoch: int, activations: Mapping[str, np.ndarray]
+    ) -> None:
+        pass
+
+    def observe_masks(
+        self, recorder, phase: str, epoch: int, masks: Mapping[str, np.ndarray]
+    ) -> None:
+        pass
+
+    def observe_triplet(
+        self,
+        recorder,
+        phase: str,
+        epoch: int,
+        pos_dist: np.ndarray,
+        neg_dist: np.ndarray,
+        margin: float,
+    ) -> None:
+        pass
+
+
+class GradStatsMonitor(Monitor):
+    """Per-epoch gradient statistics → one ``grad_stats`` event.
+
+    Aggregates every parameter gradient through one :class:`Welford` pass
+    (global norm, mean/std, fraction of exactly-zero entries) and names the
+    parameter with the largest gradient norm — the usual first suspect when
+    a phase explodes.
+    """
+
+    def after_backward(self, recorder, phase, epoch, named_params) -> None:
+        if not self._due(epoch):
+            return
+        stats = Welford()
+        worst_name, worst_norm = None, -1.0
+        missing = 0
+        for name, param in named_params:
+            grad = param.grad
+            if grad is None:
+                missing += 1
+                continue
+            stats.update(grad)
+            norm = float(np.linalg.norm(grad))
+            if norm > worst_norm:
+                worst_name, worst_norm = name, norm
+        if stats.count == 0:
+            return
+        recorder.emit(
+            "grad_stats",
+            phase=phase,
+            epoch=epoch,
+            global_norm=stats.norm,
+            max_abs=stats.max_abs,
+            worst_param=worst_name,
+            worst_param_norm=worst_norm,
+            missing_grads=missing,
+            **{k: v for k, v in stats.summary().items() if k != "norm"},
+        )
+
+
+class ParamStatsMonitor(Monitor):
+    """Per-epoch parameter-value statistics → one ``param_stats`` event."""
+
+    def after_backward(self, recorder, phase, epoch, named_params) -> None:
+        if not self._due(epoch):
+            return
+        stats = Welford()
+        for _, param in named_params:
+            stats.update(param.data)
+        if stats.count == 0:
+            return
+        recorder.emit(
+            "param_stats",
+            phase=phase,
+            epoch=epoch,
+            global_norm=stats.norm,
+            max_abs=stats.max_abs,
+            **{k: v for k, v in stats.summary().items() if k != "norm"},
+        )
+
+
+class ActivationStatsMonitor(Monitor):
+    """Named-activation statistics → one ``activation_stats`` event each."""
+
+    def observe_activations(self, recorder, phase, epoch, activations) -> None:
+        if not self._due(epoch):
+            return
+        for name, values in activations.items():
+            stats = Welford().update(values)
+            if stats.count == 0:
+                continue
+            recorder.emit(
+                "activation_stats",
+                phase=phase,
+                epoch=epoch,
+                tensor=name,
+                max_abs=stats.max_abs,
+                **stats.summary(),
+            )
+
+
+class MaskHealthMonitor(Monitor):
+    """Mask saturation / entropy → one ``mask_health`` event per mask.
+
+    A healthy mask distribution keeps gradient flowing through the sigmoid
+    scorer; the two collapse modes are both visible here:
+
+    * ``saturated_high``/``saturated_low`` — fraction of entries within
+      ``tol`` of 1 / 0, where the sigmoid derivative (and therefore the
+      masked-cross-entropy gradient of Eq. 8) has died;
+    * ``entropy`` — mean Bernoulli entropy of the mask entries, in nats.
+      Near-zero entropy with high accuracy is a converged, confident mask;
+      near-zero entropy in the first epochs is premature collapse.
+    """
+
+    def __init__(self, every: int = 1, tol: float = 0.05) -> None:
+        super().__init__(every)
+        self.tol = tol
+
+    def observe_masks(self, recorder, phase, epoch, masks) -> None:
+        if not self._due(epoch):
+            return
+        for name, values in masks.items():
+            values = np.asarray(values, dtype=np.float64).ravel()
+            if values.size == 0:
+                continue
+            clipped = np.clip(values, 1e-12, 1.0 - 1e-12)
+            entropy = float(
+                -(clipped * np.log(clipped) + (1 - clipped) * np.log(1 - clipped)).mean()
+            )
+            recorder.emit(
+                "mask_health",
+                phase=phase,
+                epoch=epoch,
+                mask=name,
+                mean=float(values.mean()),
+                entropy=entropy,
+                saturated_low=float(np.mean(values <= self.tol)),
+                saturated_high=float(np.mean(values >= 1.0 - self.tol)),
+            )
+
+
+class TripletMarginMonitor(Monitor):
+    """Triplet-pair margin distribution → one ``triplet_margin`` event.
+
+    ``margin_i = d(anchor_i, neg_i) − d(anchor_i, pos_i)``; pairs with
+    ``margin_i < margin`` still contribute hinge loss (Eq. 12).  A
+    ``frac_violating`` stuck at 1.0 means the representation never
+    separated the Algorithm-1 sets; 0.0 means the triplet term has gone
+    silent and phase 2 is pure cross-entropy.
+    """
+
+    def observe_triplet(self, recorder, phase, epoch, pos_dist, neg_dist, margin) -> None:
+        if not self._due(epoch):
+            return
+        pos = np.asarray(pos_dist, dtype=np.float64).ravel()
+        neg = np.asarray(neg_dist, dtype=np.float64).ravel()
+        if pos.size == 0:
+            return
+        margins = neg - pos
+        recorder.emit(
+            "triplet_margin",
+            phase=phase,
+            epoch=epoch,
+            margin=float(margin),
+            num_pairs=int(margins.size),
+            mean_margin=float(margins.mean()),
+            min_margin=float(margins.min()),
+            frac_violating=float(np.mean(margins < margin)),
+            pos_dist_mean=float(pos.mean()),
+            neg_dist_mean=float(neg.mean()),
+        )
+
+
+# ----------------------------------------------------------------------
+# NaN/Inf watchdog
+# ----------------------------------------------------------------------
+class NumericalAnomalyError(ArithmeticError):
+    """Raised by :class:`NaNWatchdog` in ``action="raise"`` mode."""
+
+    def __init__(self, op: str, direction: str, kind: str,
+                 phase: Optional[str] = None, epoch: Optional[int] = None) -> None:
+        self.op = op
+        self.direction = direction
+        self.kind = kind
+        self.phase = phase
+        self.epoch = epoch
+        where = f" (phase={phase}, epoch={epoch})" if phase is not None else ""
+        super().__init__(f"{kind} in {direction} of op {op!r}{where}")
+
+
+class NaNWatchdog:
+    """Context manager that checks every op output / backward gradient.
+
+    Reuses the :class:`~repro.obs.profiler.OpProfiler` hook pattern: while
+    active, ``Tensor._make`` is wrapped so each new graph node's data — and
+    the upstream gradient entering each recorded backward closure — is
+    scanned for NaN/Inf.  The first anomaly produces a structured
+    ``numerical_event`` naming the op, direction (forward/backward), kind
+    (nan/inf), and the current phase/epoch from :attr:`context`; with
+    ``action="raise"`` it additionally raises
+    :class:`NumericalAnomalyError` at the op, which is exactly where a
+    debugger wants to stop.
+
+    Composes with an active profiler (it wraps whatever ``Tensor._make``
+    currently is); enter/exit must nest LIFO, like the profiler itself.
+    The full-array finiteness scan is why the watchdog — like every
+    monitor — is opt-in: outside the context ``Tensor._make`` is pristine.
+    """
+
+    def __init__(self, recorder=None, action: str = "record", max_events: int = 10) -> None:
+        if action not in ("record", "raise"):
+            raise ValueError("action must be 'record' or 'raise'")
+        self.recorder = recorder if recorder is not None else NullRecorder()
+        self.action = action
+        self.max_events = max_events
+        self.context: Dict[str, Any] = {"phase": None, "epoch": None}
+        self.anomalies: List[Dict[str, Any]] = []
+        self.suppressed = 0
+        self._original = None
+
+    def __enter__(self) -> "NaNWatchdog":
+        if self._original is not None:
+            raise RuntimeError("NaNWatchdog is already active")
+        self._original = Tensor.__dict__["_make"]
+        original = self._original.__func__ if isinstance(self._original, staticmethod) else self._original
+        check = self._check
+
+        def watched_make(data, parents, backward):
+            out = original(data, parents, backward)
+            op = _op_name(backward.__qualname__)
+            check(out.data, op, "forward")
+            if out._backward is not None:
+                inner = out._backward
+
+                def watched_backward(grad, _inner=inner, _op=op):
+                    check(grad, _op, "backward")
+                    _inner(grad)
+
+                out._backward = watched_backward
+            return out
+
+        Tensor._make = staticmethod(watched_make)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        Tensor._make = self._original
+        self._original = None
+
+    def _check(self, array: np.ndarray, op: str, direction: str) -> None:
+        if np.isfinite(array).all():
+            return
+        kind = "nan" if np.isnan(array).any() else "inf"
+        record = {
+            "op": op,
+            "direction": direction,
+            "kind": kind,
+            "phase": self.context.get("phase"),
+            "epoch": self.context.get("epoch"),
+        }
+        if len(self.anomalies) < self.max_events:
+            self.anomalies.append(record)
+            self.recorder.emit("numerical_event", **record)
+        else:
+            self.suppressed += 1
+        if self.action == "raise":
+            raise NumericalAnomalyError(op, direction, kind,
+                                        phase=record["phase"], epoch=record["epoch"])
+
+
+# ----------------------------------------------------------------------
+# Composition
+# ----------------------------------------------------------------------
+class MonitorSet:
+    """The monitor composition a trainer holds: dispatches every hook.
+
+    Falsy when it would do nothing (no recorder, or no monitors and no
+    watchdog), so call sites guard with ``if self.monitors:`` and pay one
+    branch per epoch when disabled.
+    """
+
+    def __init__(
+        self,
+        recorder=None,
+        monitors: Iterable[Monitor] = (),
+        watchdog: Optional[NaNWatchdog] = None,
+    ) -> None:
+        self.recorder = recorder if recorder is not None else NullRecorder()
+        self.monitors: List[Monitor] = list(monitors)
+        self.watchdog = watchdog
+
+    @property
+    def enabled(self) -> bool:
+        return bool(getattr(self.recorder, "enabled", False)) and bool(
+            self.monitors or self.watchdog
+        )
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    # -- context -------------------------------------------------------
+    def set_context(self, phase: Optional[str] = None, epoch: Optional[int] = None) -> None:
+        """Tell the watchdog where training currently is."""
+        if self.watchdog is not None:
+            if phase is not None:
+                self.watchdog.context["phase"] = phase
+            self.watchdog.context["epoch"] = epoch
+
+    @contextmanager
+    def watch(self, phase: str) -> Iterator[None]:
+        """Activate the NaN/Inf watchdog (if any) for a training phase."""
+        self.set_context(phase=phase, epoch=None)
+        if self.enabled and self.watchdog is not None:
+            with self.watchdog:
+                yield
+        else:
+            yield
+
+    # -- dispatch ------------------------------------------------------
+    def after_backward(self, phase: str, epoch: int, named_params) -> None:
+        if not self.enabled:
+            return
+        named = list(named_params)
+        for monitor in self.monitors:
+            monitor.after_backward(self.recorder, phase, epoch, named)
+
+    def observe_activations(self, phase: str, epoch: int, **activations) -> None:
+        if not self.enabled:
+            return
+        for monitor in self.monitors:
+            monitor.observe_activations(self.recorder, phase, epoch, activations)
+
+    def observe_masks(self, phase: str, epoch: int, **masks) -> None:
+        if not self.enabled:
+            return
+        for monitor in self.monitors:
+            monitor.observe_masks(self.recorder, phase, epoch, masks)
+
+    def observe_triplet(
+        self, phase: str, epoch: int, pos_dist, neg_dist, margin: float
+    ) -> None:
+        if not self.enabled:
+            return
+        for monitor in self.monitors:
+            monitor.observe_triplet(self.recorder, phase, epoch, pos_dist, neg_dist, margin)
+
+
+def monitors_enabled() -> bool:
+    """Whether default monitors ride along with telemetry.
+
+    Monitors piggyback on the ``--telemetry`` / ``REPRO_TELEMETRY`` opt-in;
+    ``REPRO_MONITORS=0`` turns them off independently (telemetry keeps
+    recording epochs/phases, just without health statistics), and
+    ``REPRO_MONITORS`` has no effect while telemetry itself is off.
+    """
+    return os.environ.get("REPRO_MONITORS", "1").lower() not in ("0", "false", "no")
+
+
+def default_monitors(recorder) -> MonitorSet:
+    """The standard health-monitor set for a trainer's recorder.
+
+    Returns a falsy (do-nothing) :class:`MonitorSet` unless ``recorder`` is
+    an enabled :class:`~repro.obs.recorder.RunRecorder` and
+    :func:`monitors_enabled` — so with telemetry off the trainer's monitor
+    calls reduce to a single attribute check.
+    """
+    if not getattr(recorder, "enabled", False) or not monitors_enabled():
+        return MonitorSet()
+    return MonitorSet(
+        recorder,
+        monitors=[
+            GradStatsMonitor(),
+            ParamStatsMonitor(),
+            ActivationStatsMonitor(),
+            MaskHealthMonitor(),
+            TripletMarginMonitor(),
+        ],
+        watchdog=NaNWatchdog(recorder),
+    )

@@ -34,6 +34,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from ..tensor.alloc import AllocationTracker
 from ..tensor.tensor import Tensor
 from ..utils.logging import format_table
 
@@ -53,6 +54,7 @@ class OpStat:
     forward_seconds: float = 0.0
     backward_calls: int = 0
     backward_seconds: float = 0.0
+    bytes_allocated: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -88,6 +90,7 @@ class OpProfiler:
 
     def __init__(self) -> None:
         self.stats: Dict[str, OpStat] = {}
+        self.alloc = AllocationTracker()
         self._original = None
         self._mark = 0.0
 
@@ -105,6 +108,8 @@ class OpProfiler:
         perf_counter = time.perf_counter
         self._mark = perf_counter()
 
+        alloc = self.alloc
+
         def profiled_make(data, parents, backward):
             now = perf_counter()
             op = _op_name(backward.__qualname__)
@@ -114,6 +119,7 @@ class OpProfiler:
             stat.forward_calls += 1
             stat.forward_seconds += now - self._mark
             out = original(data, parents, backward)
+            stat.bytes_allocated += alloc.track(out)
             if out._backward is not None:
                 inner = out._backward
 
@@ -154,6 +160,7 @@ class OpProfiler:
                 "forward_seconds": stat.forward_seconds,
                 "backward_calls": stat.backward_calls,
                 "backward_seconds": stat.backward_seconds,
+                "bytes_allocated": stat.bytes_allocated,
             }
             for op, stat in self.stats.items()
         ]
@@ -163,9 +170,13 @@ class OpProfiler:
     def total_seconds(self) -> float:
         return sum(stat.total_seconds for stat in self.stats.values())
 
+    def alloc_summary(self) -> dict:
+        """Allocation totals (the ``alloc`` telemetry event payload)."""
+        return self.alloc.summary()
+
     def table(self, title: str = "op profile") -> str:
         """Render the aggregate as an aligned text table."""
-        headers = ["op", "fwd calls", "fwd s", "bwd calls", "bwd s", "total s"]
+        headers = ["op", "fwd calls", "fwd s", "bwd calls", "bwd s", "total s", "alloc MB"]
         rows = [
             [
                 r["op"],
@@ -174,7 +185,13 @@ class OpProfiler:
                 r["backward_calls"],
                 r["backward_seconds"],
                 r["forward_seconds"] + r["backward_seconds"],
+                r["bytes_allocated"] / 1e6,
             ]
             for r in self.records()
         ]
-        return format_table(headers, rows, title=title, float_format="{:.4f}")
+        footer = (
+            f"allocated {self.alloc.bytes_allocated / 1e6:.1f} MB over "
+            f"{self.alloc.tracked_tensors} graph tensors, "
+            f"peak live {self.alloc.peak_live_bytes / 1e6:.1f} MB"
+        )
+        return format_table(headers, rows, title=title, float_format="{:.4f}") + "\n" + footer

@@ -15,6 +15,7 @@ and cost nothing when telemetry is off.
 
 from __future__ import annotations
 
+import atexit
 import io
 import itertools
 import json
@@ -100,6 +101,10 @@ class NullRecorder:
         else:
             yield
 
+    @contextmanager
+    def span(self, label: str) -> Iterator[None]:
+        yield
+
     def close(self) -> None:
         pass
 
@@ -124,6 +129,11 @@ class RunRecorder(NullRecorder):
         touching the filesystem.
     runs_dir:
         Directory for the record, created on demand.
+
+    Durability: events stream to ``<path>.tmp``; :meth:`close` flushes,
+    ``fsync``\\ s and atomically renames the file into place, so a killed
+    run never leaves a truncated ``.jsonl`` under ``results/runs/`` — at
+    worst an orphaned ``.tmp`` that readers ignore.
     """
 
     enabled = True
@@ -137,6 +147,7 @@ class RunRecorder(NullRecorder):
         self.run_id = run_id or time.strftime("run-%Y%m%d-%H%M%S", time.gmtime())
         if hasattr(path, "write"):
             self.path = None
+            self._tmp_path = None
             self._handle = path
             self._owns_handle = False
         else:
@@ -144,10 +155,16 @@ class RunRecorder(NullRecorder):
                 path = os.path.join(runs_dir, f"{self.run_id}.jsonl")
             os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
             self.path = path
-            self._handle = open(path, "w", encoding="utf-8")
+            self._tmp_path = path + ".tmp"
+            self._handle = open(self._tmp_path, "w", encoding="utf-8")
             self._owns_handle = True
+            # Safety net for call sites that never reach close() — e.g. a
+            # harness that drives train_explainable() directly and never
+            # calls fit(): without this the record would stay a .tmp.
+            atexit.register(self.close)
         self.events: List[Dict[str, Any]] = []
         self._seq = 0
+        self._span_stack: List[str] = []
 
     # ------------------------------------------------------------------
     # Core emission
@@ -171,7 +188,7 @@ class RunRecorder(NullRecorder):
         **payload: Any,
     ) -> None:
         """Record run provenance: config (+hash), RNG seed, dataset."""
-        fields: Dict[str, Any] = {"run_id": self.run_id, "schema_version": 1}
+        fields: Dict[str, Any] = {"run_id": self.run_id}
         if config is not None:
             fields["config"] = jsonable(config)
             fields["config_hash"] = config_hash(config)
@@ -195,9 +212,10 @@ class RunRecorder(NullRecorder):
         self.emit("metric", name=name, value=jsonable(value), **payload)
 
     def record_profile(self, profiler: OpProfiler) -> None:
-        """One ``profile`` event per op from an :class:`OpProfiler`."""
+        """One ``profile`` event per op plus one ``alloc`` totals event."""
         for record in profiler.records():
             self.emit("profile", **record)
+        self.emit("alloc", **profiler.alloc_summary())
 
     def run_end(self, **payload: Any) -> None:
         self.emit("run_end", **payload)
@@ -208,24 +226,62 @@ class RunRecorder(NullRecorder):
 
         This is the single timing path — the elapsed seconds written to the
         ``phase_end`` event are the same ones accumulated into the
-        stopwatch that the Tables 6–8 harnesses report.
+        stopwatch that the Tables 6–8 harnesses report.  A phase is also
+        the root of the span hierarchy: :meth:`span` calls inside the block
+        emit paths like ``explainable/epoch3/backward``.
         """
         self.emit("phase_start", phase=label)
+        self._span_stack.append(label)
         start = time.perf_counter()
         try:
             yield
         finally:
             elapsed = time.perf_counter() - start
+            self._span_stack.pop()
             if stopwatch is not None:
                 stopwatch.durations[label] = stopwatch.durations.get(label, 0.0) + elapsed
             self.emit("phase_end", phase=label, seconds=elapsed)
+
+    @contextmanager
+    def span(self, label: str) -> Iterator[None]:
+        """Time a nested trace span (one ``span`` event on exit).
+
+        Spans nest: entered inside a :meth:`phase` or another span, the
+        emitted ``path`` joins every enclosing label with ``/`` —
+        ``recorder.span("backward")`` inside epoch 3 of phase 2 records
+        ``path="predictive/epoch3/backward"``.  ``obs-report`` aggregates
+        spans into a tree (numeric suffixes folded, so all epochs of one
+        phase collapse into a single ``epoch*`` row).
+        """
+        self._span_stack.append(label)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            path = "/".join(self._span_stack)
+            depth = len(self._span_stack)
+            self._span_stack.pop()
+            self.emit("span", path=path, seconds=elapsed, depth=depth)
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        if self._owns_handle and not self._handle.closed:
+        """Flush, ``fsync`` and atomically finalize the record.
+
+        The ``.tmp`` stream is renamed to the final ``.jsonl`` path only
+        here, so readers never observe a half-written record.
+        """
+        if not self._owns_handle:
+            return
+        atexit.unregister(self.close)
+        if not self._handle.closed:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
             self._handle.close()
+        if self._tmp_path is not None and os.path.exists(self._tmp_path):
+            os.replace(self._tmp_path, self.path)
 
     def __enter__(self) -> "RunRecorder":
         return self

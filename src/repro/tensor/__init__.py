@@ -10,9 +10,12 @@ This subpackage replaces PyTorch for the SES reproduction.  Public surface:
 * :class:`Module`, :class:`Linear`, :class:`MLP`, :class:`Sequential`,
   :class:`Dropout` — NN building blocks.
 * :class:`SGD`, :class:`Adam` — optimisers.
+* :class:`AllocationTracker` — passive byte accounting used by the
+  observability layer (:mod:`repro.obs`).
 """
 
 from . import functional
+from .alloc import AllocationTracker
 from .init import xavier_uniform, xavier_uniform_shape, zeros_init
 from .module import MLP, Dropout, Linear, Module, Sequential
 from .optim import SGD, Adam, Optimizer
@@ -45,4 +48,5 @@ __all__ = [
     "Optimizer",
     "SGD",
     "Adam",
+    "AllocationTracker",
 ]

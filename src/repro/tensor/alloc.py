@@ -1,0 +1,63 @@
+"""Lightweight allocation accounting for the autograd engine.
+
+The from-scratch engine allocates one numpy array per graph node, so "where
+does memory go" reduces to "which op creates how many bytes, and how many of
+those arrays are alive at once".  :class:`AllocationTracker` answers both
+with two counters:
+
+* **bytes_allocated** — cumulative bytes of every tracked array (turnover:
+  how much memory the run churned through, even if it was freed again);
+* **peak_live_bytes** — high-water mark of the bytes simultaneously held by
+  tracked tensors, maintained via :mod:`weakref` finalizers so a tensor's
+  bytes are released exactly when the tensor itself is collected.
+
+The tracker is passive: nothing in :class:`~repro.tensor.tensor.Tensor`
+references it.  :class:`~repro.obs.profiler.OpProfiler` calls
+:meth:`track` from its ``Tensor._make`` hook while profiling is active, so
+the accounting — like the profiler itself — costs literally nothing when
+observability is off.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+
+class AllocationTracker:
+    """Counts allocated / live / peak-live bytes of tracked tensors."""
+
+    __slots__ = ("bytes_allocated", "live_bytes", "peak_live_bytes", "tracked_tensors")
+
+    def __init__(self) -> None:
+        self.bytes_allocated = 0
+        self.live_bytes = 0
+        self.peak_live_bytes = 0
+        self.tracked_tensors = 0
+
+    def track(self, tensor) -> int:
+        """Account for ``tensor``'s array; returns its size in bytes.
+
+        A finalizer decrements :attr:`live_bytes` when the tensor is
+        garbage-collected, which is what makes :attr:`peak_live_bytes` a
+        true high-water mark rather than a cumulative sum.
+        """
+        nbytes = int(tensor.data.nbytes)
+        self.bytes_allocated += nbytes
+        self.live_bytes += nbytes
+        self.tracked_tensors += 1
+        if self.live_bytes > self.peak_live_bytes:
+            self.peak_live_bytes = self.live_bytes
+        weakref.finalize(tensor, self._release, nbytes)
+        return nbytes
+
+    def _release(self, nbytes: int) -> None:
+        self.live_bytes -= nbytes
+
+    def summary(self) -> dict:
+        """JSON-ready totals (the payload of the ``alloc`` telemetry event)."""
+        return {
+            "bytes_allocated": self.bytes_allocated,
+            "peak_live_bytes": self.peak_live_bytes,
+            "live_bytes": self.live_bytes,
+            "tracked_tensors": self.tracked_tensors,
+        }

@@ -88,7 +88,11 @@ class Tensor:
         Optional label used in debugging messages.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "name", "_backward", "_parents")
+    # __weakref__ lets the observability layer (repro.tensor.alloc) attach
+    # weakref finalizers for live-byte accounting without keeping tensors
+    # alive or adding any per-instance state.
+    __slots__ = ("data", "grad", "requires_grad", "name", "_backward", "_parents",
+                 "__weakref__")
 
     def __init__(
         self,
@@ -119,6 +123,11 @@ class Tensor:
     @property
     def size(self) -> int:
         return self.data.size
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the underlying array (allocation accounting)."""
+        return self.data.nbytes
 
     @property
     def T(self) -> "Tensor":

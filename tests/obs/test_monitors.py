@@ -1,0 +1,363 @@
+"""Training-health monitors: streaming stats, watchdog, MonitorSet gating."""
+
+import io
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    ActivationStatsMonitor,
+    GradStatsMonitor,
+    MaskHealthMonitor,
+    MonitorSet,
+    NaNWatchdog,
+    NumericalAnomalyError,
+    ParamStatsMonitor,
+    RunRecorder,
+    TripletMarginMonitor,
+    Welford,
+    default_monitors,
+    monitors_enabled,
+)
+from repro.tensor import Tensor
+
+
+def _recorder():
+    buffer = io.StringIO()
+    return RunRecorder(run_id="t", path=buffer), buffer
+
+
+def _events(buffer):
+    text = buffer.getvalue().strip()
+    return [json.loads(line) for line in text.split("\n")] if text else []
+
+
+class TestWelford:
+    def test_matches_numpy_on_single_batch(self):
+        values = np.array([1.0, -2.0, 0.0, 4.5])
+        w = Welford().update(values)
+        assert w.count == 4
+        assert w.mean == pytest.approx(values.mean())
+        assert w.variance == pytest.approx(values.var())
+        assert w.norm == pytest.approx(np.linalg.norm(values))
+        assert w.frac_zero == pytest.approx(0.25)
+        assert w.min == -2.0 and w.max == 4.5
+        assert w.max_abs == 4.5
+
+    def test_chunked_updates_match_one_shot(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=100)
+        chunked = Welford()
+        for chunk in np.split(values, [7, 30, 31, 90]):
+            chunked.update(chunk)
+        assert chunked.mean == pytest.approx(values.mean())
+        assert chunked.variance == pytest.approx(values.var())
+        assert chunked.std == pytest.approx(values.std())
+
+    def test_merge_matches_concatenation(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=40), rng.normal(size=9)
+        merged = Welford().update(a).merge(Welford().update(b))
+        both = np.concatenate([a, b])
+        assert merged.count == 49
+        assert merged.mean == pytest.approx(both.mean())
+        assert merged.variance == pytest.approx(both.var())
+        assert merged.norm == pytest.approx(np.linalg.norm(both))
+
+    def test_merge_with_empty_is_identity(self):
+        w = Welford().update([1.0, 2.0])
+        before = w.summary()
+        assert w.merge(Welford()).summary() == before
+        assert Welford().merge(w).summary() == before
+
+    def test_empty_accumulator_is_safe(self):
+        w = Welford()
+        assert w.variance == 0.0 and w.std == 0.0 and w.norm == 0.0
+        assert w.frac_zero == 0.0 and w.max_abs == 0.0
+        assert w.summary()["min"] == 0.0 and w.summary()["max"] == 0.0
+        w.update(np.array([]))  # empty batch is a no-op, not an error
+        assert w.count == 0
+
+    def test_multidimensional_input_is_flattened(self):
+        w = Welford().update(np.ones((3, 4)))
+        assert w.count == 12 and w.mean == 1.0
+
+
+class TestIndividualMonitors:
+    def test_grad_stats_names_worst_param(self):
+        rec, buffer = _recorder()
+        small = Tensor(np.array([0.1]), requires_grad=True)
+        big = Tensor(np.array([5.0]), requires_grad=True)
+        none = Tensor(np.array([1.0]), requires_grad=True)
+        small.grad = np.array([0.1])
+        big.grad = np.array([-9.0])
+        GradStatsMonitor().after_backward(
+            rec, "explainable", 3, [("enc.w", small), ("mask.w", big), ("frozen", none)]
+        )
+        (event,) = _events(buffer)
+        assert event["event"] == "grad_stats"
+        assert event["phase"] == "explainable" and event["epoch"] == 3
+        assert event["worst_param"] == "mask.w"
+        assert event["worst_param_norm"] == pytest.approx(9.0)
+        assert event["missing_grads"] == 1
+        assert event["global_norm"] == pytest.approx(np.sqrt(0.1**2 + 81.0))
+        assert event["max_abs"] == pytest.approx(9.0)
+
+    def test_grad_stats_silent_when_no_grads(self):
+        rec, buffer = _recorder()
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        GradStatsMonitor().after_backward(rec, "p", 0, [("w", p)])
+        assert _events(buffer) == []
+
+    def test_param_stats_event(self):
+        rec, buffer = _recorder()
+        p = Tensor(np.array([3.0, -4.0]), requires_grad=True)
+        ParamStatsMonitor().after_backward(rec, "predictive", 1, [("w", p)])
+        (event,) = _events(buffer)
+        assert event["event"] == "param_stats"
+        assert event["global_norm"] == pytest.approx(5.0)
+
+    def test_activation_stats_one_event_per_tensor(self):
+        rec, buffer = _recorder()
+        ActivationStatsMonitor().observe_activations(
+            rec, "explainable", 0, {"hidden": np.ones(4), "logits": np.zeros(2)}
+        )
+        events = _events(buffer)
+        assert [e["tensor"] for e in events] == ["hidden", "logits"]
+        assert events[1]["frac_zero"] == 1.0
+
+    def test_mask_health_detects_saturation(self):
+        rec, buffer = _recorder()
+        saturated = np.array([0.0, 0.01, 0.99, 1.0])
+        MaskHealthMonitor(tol=0.05).observe_masks(
+            rec, "explainable", 2, {"feature": saturated}
+        )
+        (event,) = _events(buffer)
+        assert event["mask"] == "feature"
+        assert event["saturated_low"] == 0.5 and event["saturated_high"] == 0.5
+        assert event["entropy"] < 0.1  # near-deterministic mask → low entropy
+
+    def test_mask_health_entropy_peaks_at_half(self):
+        rec, buffer = _recorder()
+        MaskHealthMonitor().observe_masks(rec, "p", 0, {"m": np.full(8, 0.5)})
+        (event,) = _events(buffer)
+        assert event["entropy"] == pytest.approx(math.log(2))
+        assert event["saturated_low"] == 0.0 and event["saturated_high"] == 0.0
+
+    def test_triplet_margin_counts_violations(self):
+        rec, buffer = _recorder()
+        pos = np.array([1.0, 1.0, 1.0])
+        neg = np.array([3.0, 1.2, 0.5])  # margins: 2.0, 0.2, -0.5
+        TripletMarginMonitor().observe_triplet(rec, "predictive", 4, pos, neg, 0.5)
+        (event,) = _events(buffer)
+        assert event["num_pairs"] == 3
+        assert event["frac_violating"] == pytest.approx(2 / 3)
+        assert event["min_margin"] == pytest.approx(-0.5)
+        assert event["mean_margin"] == pytest.approx((2.0 + 0.2 - 0.5) / 3)
+
+    def test_every_subsamples_epochs(self):
+        rec, buffer = _recorder()
+        monitor = MaskHealthMonitor(every=3)
+        for epoch in range(7):
+            monitor.observe_masks(rec, "p", epoch, {"m": np.full(2, 0.5)})
+        assert [e["epoch"] for e in _events(buffer)] == [0, 3, 6]
+
+    def test_every_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MaskHealthMonitor(every=0)
+
+
+class TestNaNWatchdog:
+    def test_records_forward_inf_with_op_name(self):
+        watchdog = NaNWatchdog()
+        with watchdog:
+            x = Tensor(np.ones(3), requires_grad=True)
+            x * np.array([1.0, np.inf, 1.0])
+        assert len(watchdog.anomalies) == 1
+        anomaly = watchdog.anomalies[0]
+        assert anomaly["op"] == "__mul__"
+        assert anomaly["direction"] == "forward"
+        assert anomaly["kind"] == "inf"
+
+    def test_records_nan_kind(self):
+        watchdog = NaNWatchdog()
+        with watchdog:
+            Tensor(np.ones(2), requires_grad=True) * np.array([np.nan, 1.0])
+        assert watchdog.anomalies[0]["kind"] == "nan"
+
+    def test_backward_anomaly_direction(self):
+        watchdog = NaNWatchdog()
+        with watchdog:
+            x = Tensor(np.ones(2), requires_grad=True)
+            y = x * 2.0
+            y.backward(np.array([np.nan, 1.0]))
+        directions = {a["direction"] for a in watchdog.anomalies}
+        assert "backward" in directions
+
+    def test_emits_numerical_event_with_context(self):
+        rec, buffer = _recorder()
+        watchdog = NaNWatchdog(rec)
+        watchdog.context.update(phase="explainable", epoch=7)
+        with watchdog:
+            Tensor(np.ones(2), requires_grad=True) * np.array([np.inf, 1.0])
+        (event,) = _events(buffer)
+        assert event["event"] == "numerical_event"
+        assert event["op"] == "__mul__"
+        assert event["phase"] == "explainable" and event["epoch"] == 7
+
+    def test_raise_mode_stops_at_the_op(self):
+        watchdog = NaNWatchdog(action="raise")
+        with pytest.raises(NumericalAnomalyError, match="__mul__"):
+            with watchdog:
+                Tensor(np.ones(2), requires_grad=True) * np.array([np.nan, 1.0])
+        # Hook must be unwound by the context manager despite the raise.
+        assert Tensor.__dict__["_make"].__func__ is not None
+        clean = Tensor(np.ones(2), requires_grad=True) * 2.0
+        assert clean._backward.__qualname__.endswith("__mul__.<locals>.backward")
+
+    def test_make_restored_after_exit(self):
+        before = Tensor.__dict__["_make"].__func__
+        with NaNWatchdog():
+            assert Tensor.__dict__["_make"].__func__ is not before
+        assert Tensor.__dict__["_make"].__func__ is before
+
+    def test_max_events_caps_recording(self):
+        watchdog = NaNWatchdog(max_events=2)
+        with watchdog:
+            bad = np.array([np.inf, 1.0])
+            for _ in range(5):
+                Tensor(np.ones(2), requires_grad=True) * bad
+        assert len(watchdog.anomalies) == 2
+        assert watchdog.suppressed == 3
+
+    def test_finite_run_records_nothing(self):
+        watchdog = NaNWatchdog()
+        with watchdog:
+            (Tensor(np.ones(4), requires_grad=True) * 2.0).sum().backward()
+        assert watchdog.anomalies == []
+
+    def test_invalid_action_rejected(self):
+        with pytest.raises(ValueError):
+            NaNWatchdog(action="explode")
+
+    def test_composes_with_profiler(self):
+        from repro.obs import OpProfiler
+
+        watchdog = NaNWatchdog()
+        with OpProfiler() as prof:
+            with watchdog:
+                Tensor(np.ones(2), requires_grad=True) * np.array([np.inf, 1.0])
+        assert watchdog.anomalies[0]["op"] == "__mul__"
+        assert prof.stats["__mul__"].forward_calls == 1  # profiler still counted
+
+
+class TestMonitorSet:
+    def test_empty_set_is_falsy(self):
+        assert not MonitorSet()
+        rec, _ = _recorder()
+        assert not MonitorSet(rec)  # recorder but nothing to dispatch
+
+    def test_set_with_monitor_and_live_recorder_is_truthy(self):
+        rec, _ = _recorder()
+        assert MonitorSet(rec, monitors=[MaskHealthMonitor()])
+        assert MonitorSet(rec, watchdog=NaNWatchdog(rec))
+
+    def test_disabled_set_dispatch_is_noop(self):
+        rec, buffer = _recorder()
+        monitors = MonitorSet(monitors=[MaskHealthMonitor()])  # NullRecorder
+        monitors.observe_masks("p", 0, m=np.full(2, 0.5))
+        monitors.after_backward("p", 0, [])
+        assert _events(buffer) == []
+
+    def test_dispatch_reaches_every_monitor(self):
+        rec, buffer = _recorder()
+        monitors = MonitorSet(
+            rec, monitors=[MaskHealthMonitor(), ActivationStatsMonitor()]
+        )
+        monitors.observe_masks("p", 0, m=np.full(2, 0.5))
+        monitors.observe_activations("p", 0, h=np.ones(3))
+        kinds = [e["event"] for e in _events(buffer)]
+        assert kinds == ["mask_health", "activation_stats"]
+
+    def test_watch_activates_watchdog_and_sets_phase(self):
+        rec, buffer = _recorder()
+        monitors = MonitorSet(rec, watchdog=NaNWatchdog(rec))
+        with monitors.watch("explainable"):
+            monitors.set_context(epoch=2)
+            Tensor(np.ones(2), requires_grad=True) * np.array([np.inf, 1.0])
+        (event,) = _events(buffer)
+        assert event["phase"] == "explainable" and event["epoch"] == 2
+
+    def test_watch_without_watchdog_is_passthrough(self):
+        rec, _ = _recorder()
+        before = Tensor.__dict__["_make"]
+        with MonitorSet(rec, monitors=[MaskHealthMonitor()]).watch("p"):
+            assert Tensor.__dict__["_make"] is before
+
+
+class TestDefaultMonitors:
+    def test_null_recorder_yields_falsy_set(self):
+        from repro.obs import NullRecorder
+
+        assert not default_monitors(NullRecorder())
+
+    def test_live_recorder_yields_full_set(self):
+        rec, _ = _recorder()
+        monitors = default_monitors(rec)
+        assert monitors
+        kinds = {type(m).__name__ for m in monitors.monitors}
+        assert kinds == {
+            "GradStatsMonitor",
+            "ParamStatsMonitor",
+            "ActivationStatsMonitor",
+            "MaskHealthMonitor",
+            "TripletMarginMonitor",
+        }
+        assert isinstance(monitors.watchdog, NaNWatchdog)
+
+    def test_repro_monitors_env_opt_out(self, monkeypatch):
+        rec, _ = _recorder()
+        monkeypatch.setenv("REPRO_MONITORS", "0")
+        assert not monitors_enabled()
+        assert not default_monitors(rec)
+        monkeypatch.setenv("REPRO_MONITORS", "1")
+        assert monitors_enabled()
+        assert default_monitors(rec)
+
+
+class TestTrainerIntegration:
+    def test_trainer_with_monitors_emits_health_events(self, tiny_graph):
+        from repro.core import SESTrainer, fast_config
+
+        buffer = io.StringIO()
+        rec = RunRecorder(run_id="mon", path=buffer)
+        config = fast_config(
+            explainable_epochs=3, predictive_epochs=2, hidden_features=8
+        )
+        SESTrainer(
+            tiny_graph, config, recorder=rec, monitors=default_monitors(rec)
+        ).fit()
+        kinds = {e["event"] for e in _events(buffer)}
+        for required in ("grad_stats", "param_stats", "activation_stats",
+                        "mask_health", "triplet_margin", "span"):
+            assert required in kinds, required
+        # And the hook is gone once training finished.
+        clean = Tensor(np.ones(2), requires_grad=True) * 2.0
+        assert clean._backward.__qualname__.endswith("__mul__.<locals>.backward")
+
+    def test_monitors_do_not_perturb_training(self, tiny_graph):
+        from repro.core import SESTrainer, fast_config
+
+        config = fast_config(
+            explainable_epochs=3, predictive_epochs=2, hidden_features=8
+        )
+        plain = SESTrainer(tiny_graph, config).fit()
+        buffer = io.StringIO()
+        rec = RunRecorder(run_id="mon2", path=buffer)
+        monitored = SESTrainer(
+            tiny_graph, config, recorder=rec, monitors=default_monitors(rec)
+        ).fit()
+        assert plain.history.phase1_loss == monitored.history.phase1_loss
+        assert plain.test_accuracy == monitored.test_accuracy

@@ -101,6 +101,34 @@ class TestEnabledCounts:
                 OpProfiler().__enter__()
 
 
+class TestAllocationAccounting:
+    def test_bytes_attributed_to_producing_op(self):
+        with OpProfiler() as prof:
+            a = Tensor(np.zeros(128, dtype=np.float64), requires_grad=True)
+            _ = a * 2.0
+        # One graph tensor of 128 float64s came out of __mul__.
+        assert prof.stats["__mul__"].bytes_allocated == 128 * 8
+
+    def test_alloc_summary_tracks_totals_and_peak(self):
+        with OpProfiler() as prof:
+            a = Tensor(np.zeros(64, dtype=np.float64), requires_grad=True)
+            (a * 2.0).sum().backward()
+        summary = prof.alloc_summary()
+        assert summary["tracked_tensors"] == 2  # __mul__ output + sum output
+        assert summary["bytes_allocated"] == 64 * 8 + 8
+        assert summary["peak_live_bytes"] >= 64 * 8
+        assert 0 <= summary["live_bytes"] <= summary["peak_live_bytes"]
+
+    def test_live_bytes_drop_when_tensors_are_collected(self):
+        with OpProfiler() as prof:
+            a = Tensor(np.zeros(32, dtype=np.float64), requires_grad=True)
+            b = a * 2.0
+            assert prof.alloc.live_bytes == 32 * 8
+            del b
+        assert prof.alloc.live_bytes == 0
+        assert prof.alloc.peak_live_bytes == 32 * 8
+
+
 class TestReadouts:
     def test_records_sorted_and_json_ready(self):
         import json
@@ -109,7 +137,8 @@ class TestReadouts:
             (Tensor([1.0, 2.0], requires_grad=True) * 2.0).sum().backward()
         records = prof.records()
         assert [set(r) for r in records] == [
-            {"op", "forward_calls", "forward_seconds", "backward_calls", "backward_seconds"}
+            {"op", "forward_calls", "forward_seconds", "backward_calls",
+             "backward_seconds", "bytes_allocated"}
         ] * len(records)
         json.dumps(records)  # must be JSON-serialisable as-is
         totals = [r["forward_seconds"] + r["backward_seconds"] for r in records]
@@ -120,6 +149,13 @@ class TestReadouts:
             (Tensor([1.0], requires_grad=True) * 2.0).sum().backward()
         table = prof.table()
         assert "__mul__" in table and "sum" in table and "fwd calls" in table
+
+    def test_table_includes_alloc_column_and_footer(self):
+        with OpProfiler() as prof:
+            (Tensor([1.0], requires_grad=True) * 2.0).sum().backward()
+        table = prof.table()
+        assert "alloc MB" in table
+        assert "peak live" in table
 
     def test_op_name_extraction(self):
         assert _op_name("Tensor.__add__.<locals>.backward") == "__add__"

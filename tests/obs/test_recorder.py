@@ -2,9 +2,13 @@
 
 import io
 import json
+import os
+from pathlib import Path
 
 import numpy as np
 import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
 
 from repro.obs import (
     EVENT_TYPES,
@@ -94,6 +98,106 @@ class TestRunRecorder:
         rec.metric("x", 1)
         rec.close()
         assert (tmp_path / "runs" / "abc.jsonl").exists()
+
+
+class TestDurability:
+    def test_every_event_carries_schema_version(self, tmp_path):
+        from repro.obs import SCHEMA_VERSION
+
+        path = tmp_path / "run.jsonl"
+        with RunRecorder(run_id="t", path=str(path)) as rec:
+            rec.run_start(config={}, seed=0)
+            rec.metric("x", 1)
+            rec.run_end()
+        events = [json.loads(l) for l in path.read_text().strip().split("\n")]
+        assert all(e["schema_version"] == SCHEMA_VERSION for e in events)
+
+    def test_streams_to_tmp_until_close(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        rec = RunRecorder(run_id="t", path=str(path))
+        rec.metric("x", 1)
+        # Mid-run: only the .tmp file exists — readers never see a
+        # half-written final record.
+        assert (tmp_path / "run.jsonl.tmp").exists()
+        assert not path.exists()
+        rec.close()
+        assert path.exists()
+        assert not (tmp_path / "run.jsonl.tmp").exists()
+        assert json.loads(path.read_text())["event"] == "metric"
+
+    def test_close_is_idempotent(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        rec = RunRecorder(run_id="t", path=str(path))
+        rec.metric("x", 1)
+        rec.close()
+        rec.close()
+        assert path.exists()
+
+    def test_record_finalized_at_process_exit_without_close(self, tmp_path):
+        # A harness may drive the trainer piecemeal and never reach the
+        # close() in fit(); the atexit hook must still finalize the record.
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.obs import RunRecorder\n"
+            f"rec = RunRecorder(run_id='orphan', runs_dir={str(tmp_path)!r})\n"
+            "rec.metric('m', 1)\n"
+        )
+        env = dict(os.environ, PYTHONPATH=str(ROOT / "src"))
+        subprocess.run([sys.executable, "-c", script], check=True, env=env)
+        assert (tmp_path / "orphan.jsonl").exists()
+        assert not (tmp_path / "orphan.jsonl.tmp").exists()
+
+    def test_stringio_path_skips_atomic_rename(self):
+        buffer = io.StringIO()
+        rec = RunRecorder(run_id="t", path=buffer)
+        rec.metric("x", 1)
+        rec.close()
+        assert json.loads(buffer.getvalue())["event"] == "metric"
+
+
+class TestSpans:
+    def test_span_event_records_path_and_depth(self):
+        buffer = io.StringIO()
+        rec = RunRecorder(run_id="t", path=buffer)
+        with rec.span("epoch0"):
+            with rec.span("backward"):
+                pass
+        events = [json.loads(l) for l in buffer.getvalue().strip().split("\n")]
+        # Inner span closes (and therefore emits) first.
+        assert [(e["path"], e["depth"]) for e in events] == [
+            ("epoch0/backward", 2), ("epoch0", 1),
+        ]
+        assert all(e["event"] == "span" and e["seconds"] >= 0.0 for e in events)
+
+    def test_phase_joins_the_span_stack(self):
+        buffer = io.StringIO()
+        rec = RunRecorder(run_id="t", path=buffer)
+        with rec.phase("explainable"):
+            with rec.span("epoch1"):
+                pass
+        events = [json.loads(l) for l in buffer.getvalue().strip().split("\n")]
+        spans = [e for e in events if e["event"] == "span"]
+        assert [e["path"] for e in spans] == ["explainable/epoch1"]
+        # phase() still emits its own start/end pair, not span events.
+        kinds = [e["event"] for e in events]
+        assert kinds == ["phase_start", "span", "phase_end"]
+
+    def test_span_emits_on_exception(self):
+        buffer = io.StringIO()
+        rec = RunRecorder(run_id="t", path=buffer)
+        with pytest.raises(RuntimeError):
+            with rec.span("epoch0"):
+                raise RuntimeError("boom")
+        (event,) = [json.loads(l) for l in buffer.getvalue().strip().split("\n")]
+        assert event["event"] == "span" and event["path"] == "epoch0"
+
+    def test_null_recorder_span_is_noop(self):
+        rec = NullRecorder()
+        with rec.span("anything"):
+            pass
+        assert rec.events == []
 
 
 class TestNullRecorder:

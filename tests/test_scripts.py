@@ -83,3 +83,33 @@ class TestSelfcheckStructure:
         selfcheck.check("bad", lambda: 1 / 0, results)
         assert results[0][1] is True
         assert results[1][1] is False
+
+
+class TestDoctor:
+    def test_docs_check_passes(self, capsys):
+        from repro import doctor
+
+        assert doctor.main(["--only", "docs"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS  docs" in out
+        assert "doctor: PASS (1/1 checks)" in out
+
+    def test_missing_script_fails(self, tmp_path, capsys):
+        from repro import doctor
+
+        assert doctor.main(["--only", "docs"], root=tmp_path) == 1
+        out = capsys.readouterr().out
+        assert "FAIL  docs" in out
+        assert "doctor: FAIL (0/1 checks)" in out
+
+    def test_unknown_check_rejected(self):
+        from repro import doctor
+
+        with pytest.raises(SystemExit):
+            doctor.main(["--only", "bogus"])
+
+    def test_dispatch_through_python_m_repro(self, capsys):
+        from repro.__main__ import main as repro_main
+
+        assert repro_main(["doctor", "--only", "docs"]) == 0
+        assert "doctor: PASS" in capsys.readouterr().out
