@@ -1,0 +1,161 @@
+"""CSR segment-kernel microbenchmarks: sorted-layout kernels vs naive.
+
+Measures the scatter primitives on both implementations — the CSR segment
+kernels that the conv layers thread cached layouts into, and the
+``naive=True`` dense-scatter reference — at Cora scale and on a denser
+synthetic graph.  On module teardown the collected stats are written to
+``results/BENCH_kernels.json`` in the ``{benchmarks: [{name, stats}]}``
+shape ``python -m repro obs-diff`` consumes, together with a ``speedups``
+summary (csr-vs-naive mean ratio per op/graph pair).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_kernels.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.datasets import cora_like
+from repro.tensor import CSRSegmentLayout, Tensor, gather_rows, segment_softmax, segment_sum
+
+BENCH_JSON = os.path.join("results", "BENCH_kernels.json")
+HIDDEN = 32
+HEADS = 4
+
+_BENCH_STATS = []
+
+
+def _emit(benchmark, name):
+    if benchmark.stats is None:
+        return
+    stats = benchmark.stats.stats
+    _BENCH_STATS.append(
+        {
+            "name": name,
+            "stats": {
+                "mean": stats.mean,
+                "stddev": stats.stddev,
+                "rounds": stats.rounds,
+                "min": stats.min,
+                "max": stats.max,
+            },
+        }
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_json():
+    yield
+    means = {b["name"]: b["stats"]["mean"] for b in _BENCH_STATS}
+    speedups = {}
+    for name, mean in means.items():
+        if name.endswith("_naive"):
+            csr_name = name[: -len("_naive")] + "_csr"
+            if csr_name in means and means[csr_name] > 0:
+                speedups[csr_name[: -len("_csr")]] = mean / means[csr_name]
+    os.makedirs(os.path.dirname(BENCH_JSON), exist_ok=True)
+    with open(BENCH_JSON, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "suite": "bench_kernels",
+                "benchmarks": _BENCH_STATS,
+                "speedups": speedups,
+            },
+            handle,
+            indent=2,
+        )
+    _BENCH_STATS.clear()
+
+
+class Problem:
+    """One graph's edge list plus prebuilt layouts and edge/node values."""
+
+    def __init__(self, edge_index: np.ndarray, num_nodes: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        self.num_nodes = num_nodes
+        self.src = edge_index[0]
+        self.dst = edge_index[1]
+        self.src_layout = CSRSegmentLayout(self.src, num_nodes)
+        self.dst_layout = CSRSegmentLayout(self.dst, num_nodes)
+        num_edges = edge_index.shape[1]
+        self.edge_values = rng.normal(size=(num_edges, HIDDEN))
+        self.edge_scores = rng.normal(size=(num_edges, HEADS))
+        self.node_values = rng.normal(size=(num_nodes, HIDDEN))
+
+
+@pytest.fixture(scope="module")
+def cora_small() -> Problem:
+    graph = cora_like(num_nodes=2708, seed=0)
+    return Problem(graph.edge_index(), graph.num_nodes)
+
+
+@pytest.fixture(scope="module")
+def synthetic() -> Problem:
+    rng = np.random.default_rng(7)
+    num_nodes, num_edges = 1000, 20000
+    edge_index = rng.integers(0, num_nodes, size=(2, num_edges)).astype(np.int64)
+    return Problem(edge_index, num_nodes)
+
+
+def _problem(request, name) -> Problem:
+    return request.getfixturevalue(name)
+
+
+@pytest.mark.parametrize("graph_name", ["cora_small", "synthetic"])
+@pytest.mark.parametrize("path", ["csr", "naive"])
+def test_segment_sum_forward(benchmark, request, graph_name, path):
+    problem = _problem(request, graph_name)
+    values = Tensor(problem.edge_values)
+    kwargs = (
+        {"layout": problem.dst_layout} if path == "csr" else {"naive": True}
+    )
+
+    def step():
+        segment_sum(values, problem.dst, problem.num_nodes, **kwargs)
+
+    benchmark(step)
+    _emit(benchmark, f"segment_sum_{graph_name}_{path}")
+
+
+@pytest.mark.parametrize("graph_name", ["cora_small", "synthetic"])
+@pytest.mark.parametrize("path", ["csr", "naive"])
+def test_segment_softmax_forward(benchmark, request, graph_name, path):
+    problem = _problem(request, graph_name)
+    scores = Tensor(problem.edge_scores)
+    kwargs = (
+        {"layout": problem.dst_layout} if path == "csr" else {"naive": True}
+    )
+
+    def step():
+        segment_softmax(scores, problem.dst, problem.num_nodes, **kwargs)
+
+    benchmark(step)
+    _emit(benchmark, f"segment_softmax_{graph_name}_{path}")
+
+
+@pytest.mark.parametrize("graph_name", ["cora_small", "synthetic"])
+@pytest.mark.parametrize("path", ["csr", "naive"])
+def test_gather_segment_sum_forward_backward(benchmark, request, graph_name, path):
+    """The message-passing round trip: gather by src, reduce by dst, adjoint."""
+    problem = _problem(request, graph_name)
+    if path == "csr":
+        gather_kwargs = {"layout": problem.src_layout}
+        segment_kwargs = {"layout": problem.dst_layout}
+    else:
+        gather_kwargs = {"naive": True}
+        segment_kwargs = {"naive": True}
+
+    def step():
+        x = Tensor(problem.node_values, requires_grad=True)
+        messages = gather_rows(x, problem.src, **gather_kwargs)
+        out = segment_sum(messages, problem.dst, problem.num_nodes, **segment_kwargs)
+        out.sum().backward()
+
+    benchmark(step)
+    _emit(benchmark, f"gather_segment_sum_fwdbwd_{graph_name}_{path}")

@@ -25,6 +25,7 @@ ROOT = Path(__file__).resolve().parent.parent
 
 DEFAULT_DOCS = [
     "docs/OBSERVABILITY.md",
+    "docs/PERF.md",
     "docs/TUTORIAL.md",
 ]
 

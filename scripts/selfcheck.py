@@ -38,6 +38,43 @@ def main() -> int:
         (x * x).backward(np.array([1.0]))
         assert abs(x.grad[0] - 6.0) < 1e-9
 
+    def csr_kernel_parity():
+        from repro.tensor import (
+            Tensor,
+            gather_rows,
+            segment_mean,
+            segment_softmax,
+            segment_sum,
+        )
+
+        rng = np.random.default_rng(0)
+        num_nodes, num_edges = 40, 200
+        ids = rng.integers(0, num_nodes, num_edges).astype(np.int64)
+        for op, values in (
+            (segment_sum, rng.normal(size=(num_edges, 8))),
+            (segment_mean, rng.normal(size=(num_edges, 8))),
+            (segment_softmax, rng.normal(size=(num_edges, 2))),
+        ):
+            outs, grads = [], []
+            for naive in (False, True):
+                tensor = Tensor(values.copy(), requires_grad=True)
+                out = op(tensor, ids, num_nodes, naive=naive)
+                (out * out).sum().backward()
+                outs.append(out.data)
+                grads.append(tensor.grad)
+            assert np.allclose(outs[0], outs[1], rtol=1e-9, atol=1e-12), op.__name__
+            assert np.allclose(grads[0], grads[1], rtol=1e-9, atol=1e-12), op.__name__
+        x_data = rng.normal(size=(num_nodes, 8))
+        x_outs, x_grads = [], []
+        for naive in (False, True):
+            x = Tensor(x_data.copy(), requires_grad=True)
+            out = gather_rows(x, ids, naive=naive)
+            (out * out).sum().backward()
+            x_outs.append(out.data)
+            x_grads.append(x.grad)
+        assert np.allclose(x_outs[0], x_outs[1], rtol=1e-9, atol=1e-12)
+        assert np.allclose(x_grads[0], x_grads[1], rtol=1e-9, atol=1e-12)
+
     def datasets():
         from repro.datasets import load_dataset
 
@@ -129,6 +166,7 @@ def main() -> int:
             assert loaded.num_nodes == graph.num_nodes
 
     check("autograd gradients", autograd, results)
+    check("csr kernel parity", csr_kernel_parity, results)
     check("dataset generators", datasets, results)
     check("baseline classifier", baseline, results)
     check("SES two-phase pipeline", ses, results)

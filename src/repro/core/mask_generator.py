@@ -21,7 +21,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..tensor import MLP, Module, Tensor, functional as F, gather_rows
+from ..tensor import MLP, Module, Tensor, cached_layout, functional as F, gather_rows
 
 
 class MaskGenerator(Module):
@@ -63,8 +63,12 @@ class MaskGenerator(Module):
         """Sigmoid edge scores for ``(2, M)`` (center, other) pairs."""
         if pairs.shape[1] == 0:
             return Tensor(np.zeros(0))
-        h_center = gather_rows(hidden, pairs[0])
-        h_other = gather_rows(hidden, pairs[1])
+        # The k-hop pair list is fixed per dataset, so the gather adjoints
+        # reuse the process-wide CSR layout memo instead of re-sorting the
+        # (often very large) pair index every epoch.
+        num_rows = hidden.shape[0]
+        h_center = gather_rows(hidden, pairs[0], layout=cached_layout(pairs[0], num_rows))
+        h_other = gather_rows(hidden, pairs[1], layout=cached_layout(pairs[1], num_rows))
         pair_features = F.concatenate(
             [h_center, h_other, h_center * h_other], axis=1
         )

@@ -126,6 +126,27 @@ class Graph:
             self._cache["edge_weights"] = coo.data.astype(np.float64)
         return self._cache["edge_weights"]
 
+    def segment_layout(self, k: Optional[int] = None):
+        """Destination-sorted CSR layout of the (k-hop) edge index.
+
+        ``k=None`` covers :meth:`edge_index`; an integer ``k`` covers the
+        cached k-hop expansion from :func:`repro.graph.khop.khop_edge_index`.
+        Memoised alongside the edge caches so trainers and explainers share
+        one layout per topology (see docs/PERF.md).
+        """
+        cache_key = ("segment_layout", k)
+        if cache_key not in self._cache:
+            from ..tensor import CSRSegmentLayout
+
+            if k is None:
+                edge_index = self.edge_index()
+            else:
+                from .khop import khop_edge_index
+
+                edge_index = khop_edge_index(self, k)
+            self._cache[cache_key] = CSRSegmentLayout(edge_index[1], self.num_nodes)
+        return self._cache[cache_key]
+
     def neighbors(self, node: int) -> np.ndarray:
         """Neighbour ids of ``node``."""
         start, stop = self.adjacency.indptr[node], self.adjacency.indptr[node + 1]

@@ -51,15 +51,19 @@ class ARMAConv(GraphConv):
         num_nodes: int,
         edge_weight: Optional[Tensor] = None,
     ) -> Tensor:
-        full_index, coefficients = self._cached(
-            edge_index, lambda: gcn_constants(edge_index, num_nodes)
+        full_index, coefficients, layouts = self._cached(
+            edge_index,
+            lambda: gcn_constants(edge_index, num_nodes),
+            tag=("norm", num_nodes),
         )
         w = extend_edge_weight(edge_weight, num_nodes)
         output = None
         for k in range(self.num_stacks):
             state = x @ getattr(self, f"init_weight_{k}")
             for t in range(self.num_layers):
-                propagated = weighted_aggregate(state, full_index, num_nodes, coefficients, w)
+                propagated = weighted_aggregate(
+                    state, full_index, num_nodes, coefficients, w, layouts=layouts
+                )
                 if t == 0:
                     mix = propagated
                 else:
@@ -69,6 +73,7 @@ class ARMAConv(GraphConv):
                         num_nodes,
                         coefficients,
                         w,
+                        layouts=layouts,
                     )
                 state = F.relu(mix + x @ getattr(self, f"root_weight_{k}") + getattr(self, f"bias_{k}"))
             output = state if output is None else output + state

@@ -54,15 +54,19 @@ class ASDGNConv(GraphConv):
             raise ValueError(
                 f"ASDGNConv expects width {self.hidden_features}, got {x.shape[1]}"
             )
-        full_index, coefficients = self._cached(
-            edge_index, lambda: gcn_constants(edge_index, num_nodes)
+        full_index, coefficients, layouts = self._cached(
+            edge_index,
+            lambda: gcn_constants(edge_index, num_nodes),
+            tag=("norm", num_nodes),
         )
         w = extend_edge_weight(edge_weight, num_nodes)
         identity = as_tensor(self.gamma * np.eye(self.hidden_features))
         antisymmetric = self.weight - self.weight.T - identity
         state = x
         for _ in range(self.num_iters):
-            aggregated = weighted_aggregate(state, full_index, num_nodes, coefficients, w)
+            aggregated = weighted_aggregate(
+                state, full_index, num_nodes, coefficients, w, layouts=layouts
+            )
             update = F.tanh(state @ antisymmetric + aggregated @ self.weight_agg + self.bias)
             state = state + update * self.epsilon
         return state

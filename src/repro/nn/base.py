@@ -12,24 +12,63 @@ Every conv in :mod:`repro.nn` follows the same calling convention::
   coefficients stay constant while the mask weights receive gradients.
 
 Layers cache per-``edge_index`` constants (self-looped indices, degree
-normalisation) keyed on the array's identity, since the topology is fixed
-throughout a training run.
+normalisation, CSR segment layouts) keyed on the array's content, since the
+topology is fixed throughout a training run.  The cached
+:class:`EdgeLayouts` pair — one destination-sorted layout for the scatter
+side, one source-sorted layout for the gather adjoints — is threaded into
+every ``segment_*``/``gather_rows`` call so the hot path never re-sorts or
+re-hashes the edge list (see docs/PERF.md).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, NamedTuple, Optional, Tuple
 
 import numpy as np
 
 from ..graph.normalize import gcn_edge_norm
-from ..tensor import Module, Tensor, as_tensor, functional as F, gather_rows, segment_sum
+from ..tensor import (
+    CSRSegmentLayout,
+    Module,
+    Tensor,
+    as_tensor,
+    functional as F,
+    gather_rows,
+    segment_sum,
+)
 
 
 def add_self_loops(edge_index: np.ndarray, num_nodes: int) -> np.ndarray:
     """Append the ``N`` self-loop edges to ``edge_index``."""
     loops = np.arange(num_nodes, dtype=np.int64)
     return np.hstack([edge_index, np.vstack([loops, loops])])
+
+
+class EdgeLayouts(NamedTuple):
+    """The two CSR layouts one edge list needs for message passing.
+
+    ``dst`` sorts edges by destination (forward scatter / softmax segments);
+    ``src`` sorts by source (the adjoint of every source-side gather).
+    """
+
+    src: CSRSegmentLayout
+    dst: CSRSegmentLayout
+
+
+def edge_layouts(edge_index: np.ndarray, num_nodes: int) -> EdgeLayouts:
+    """Build the src/dst :class:`CSRSegmentLayout` pair for ``edge_index``."""
+    return EdgeLayouts(
+        src=CSRSegmentLayout(edge_index[0], num_nodes),
+        dst=CSRSegmentLayout(edge_index[1], num_nodes),
+    )
+
+
+def looped_constants(
+    edge_index: np.ndarray, num_nodes: int
+) -> Tuple[np.ndarray, EdgeLayouts]:
+    """Self-looped edge index plus its cached CSR layout pair."""
+    full_index = add_self_loops(edge_index, num_nodes)
+    return full_index, edge_layouts(full_index, num_nodes)
 
 
 def extend_edge_weight(edge_weight: Optional[Tensor], num_nodes: int) -> Optional[Tensor]:
@@ -41,7 +80,10 @@ def extend_edge_weight(edge_weight: Optional[Tensor], num_nodes: int) -> Optiona
 
 
 def extend_edge_weight_scaled(
-    edge_weight: Optional[Tensor], edge_index: np.ndarray, num_nodes: int
+    edge_weight: Optional[Tensor],
+    edge_index: np.ndarray,
+    num_nodes: int,
+    layout: Optional[CSRSegmentLayout] = None,
 ) -> Optional[Tensor]:
     """Extend mask weights with *mean-scaled* self-loop weights.
 
@@ -55,10 +97,13 @@ def extend_edge_weight_scaled(
     if edge_weight is None:
         return None
     dst = edge_index[1]
-    counts = np.bincount(dst, minlength=num_nodes).astype(np.float64)
+    if layout is not None:
+        counts = layout.counts.astype(np.float64)
+    else:
+        counts = np.bincount(dst, minlength=num_nodes).astype(np.float64)
     isolated = counts == 0
     safe_counts = np.maximum(counts, 1.0)
-    incoming_sum = segment_sum(edge_weight, dst, num_nodes)
+    incoming_sum = segment_sum(edge_weight, dst, num_nodes, layout=layout)
     self_weights = incoming_sum * as_tensor(1.0 / safe_counts)
     if isolated.any():
         self_weights = self_weights + as_tensor(isolated.astype(np.float64))
@@ -72,12 +117,14 @@ class GraphConv(Module):
         super().__init__()
         self._edge_cache: Dict[Tuple, Tuple] = {}
 
-    def _cached(self, edge_index: np.ndarray, builder, tag: str = "") -> Tuple:
+    def _cached(self, edge_index: np.ndarray, builder, tag="") -> Tuple:
         # Key on content, not object identity: numpy reuses ids of collected
         # arrays, and explainers feed many distinct subgraphs through the
         # same conv.  Hashing the raw bytes is O(E) — negligible next to the
         # aggregation itself.  ``tag`` separates callers that cache different
-        # artifacts for the same edge set (e.g. plain vs masked paths).
+        # artifacts for the same edge set (e.g. plain vs masked paths);
+        # callers include ``num_nodes`` in it, since cached layouts and
+        # normalisations depend on the node count as well as the edges.
         key = (tag, edge_index.shape[1], hash(edge_index.tobytes()))
         if key not in self._edge_cache:
             if len(self._edge_cache) > 8:
@@ -101,22 +148,31 @@ def weighted_aggregate(
     num_nodes: int,
     coefficients: np.ndarray,
     edge_weight: Optional[Tensor],
+    layouts: Optional[EdgeLayouts] = None,
 ) -> Tensor:
     """Aggregate ``sum_e coeff_e * w_e * h[src_e]`` onto destination nodes.
 
     ``coefficients`` are constant structural terms; ``edge_weight`` is an
     optional differentiable multiplier aligned with the same edges.
+    ``layouts`` threads the conv's cached CSR layouts into the gather
+    adjoint and the destination scatter.
     """
     src, dst = edge_index
-    messages = gather_rows(h, src)
+    messages = gather_rows(h, src, layout=layouts.src if layouts else None)
     const = as_tensor(coefficients.reshape(-1, *([1] * (h.ndim - 1))))
     messages = messages * const
     if edge_weight is not None:
         w = edge_weight.reshape(-1, *([1] * (h.ndim - 1)))
         messages = messages * w
-    return segment_sum(messages, dst, num_nodes)
+    return segment_sum(
+        messages, dst, num_nodes, layout=layouts.dst if layouts else None
+    )
 
 
-def gcn_constants(edge_index: np.ndarray, num_nodes: int) -> Tuple[np.ndarray, np.ndarray]:
-    """Self-looped edge index plus symmetric-normalisation coefficients."""
-    return gcn_edge_norm(edge_index, num_nodes)
+def gcn_constants(
+    edge_index: np.ndarray, num_nodes: int
+) -> Tuple[np.ndarray, np.ndarray, EdgeLayouts]:
+    """Self-looped edge index, symmetric-normalisation coefficients, and the
+    CSR layout pair of the self-looped edge list."""
+    full_index, coefficients = gcn_edge_norm(edge_index, num_nodes)
+    return full_index, coefficients, edge_layouts(full_index, num_nodes)

@@ -16,7 +16,7 @@ from typing import Optional
 import numpy as np
 
 from ..tensor import Tensor, as_tensor, functional as F, gather_rows, segment_softmax, segment_sum
-from .base import add_self_loops, extend_edge_weight_scaled
+from .base import extend_edge_weight_scaled, looped_constants
 from .gat import GATConv
 
 
@@ -30,9 +30,11 @@ class FusedGATConv(GATConv):
         num_nodes: int,
         edge_weight: Optional[Tensor] = None,
     ) -> Tensor:
-        full_index = self._cached(
-            edge_index, lambda: (add_self_loops(edge_index, num_nodes),)
-        )[0]
+        full_index, layouts = self._cached(
+            edge_index,
+            lambda: looped_constants(edge_index, num_nodes),
+            tag=("loops", num_nodes),
+        )
         src, dst = full_index
         h = (x @ self.weight).reshape(num_nodes, self.heads, self.head_dim)
         # Fusion: reduce the attention dot products to per-node scalars
@@ -45,21 +47,21 @@ class FusedGATConv(GATConv):
             ],
             axis=2,
         )
-        gathered_src = gather_rows(node_scores, src)
-        gathered_dst = gather_rows(node_scores, dst)
+        gathered_src = gather_rows(node_scores, src, layout=layouts.src)
+        gathered_dst = gather_rows(node_scores, dst, layout=layouts.dst)
         edge_scores = gathered_src[:, :, 0] + gathered_dst[:, :, 1]
         edge_scores = F.leaky_relu(edge_scores, self.negative_slope)
-        alpha = segment_softmax(edge_scores, dst, num_nodes)
+        alpha = segment_softmax(edge_scores, dst, num_nodes, layout=layouts.dst)
         self.last_attention = alpha.data.copy()
         self.last_edge_index = full_index
         w = extend_edge_weight_scaled(edge_weight, edge_index, num_nodes)
         if w is not None:
             # Renormalise mask-reweighted attention per destination (see GATConv).
             alpha = alpha * w.reshape(-1, 1)
-            totals = segment_sum(alpha, dst, num_nodes) + as_tensor(1e-9)
-            alpha = alpha / gather_rows(totals, dst)
-        messages = gather_rows(h, src) * alpha.reshape(-1, self.heads, 1)
-        out = segment_sum(messages, dst, num_nodes)
+            totals = segment_sum(alpha, dst, num_nodes, layout=layouts.dst) + as_tensor(1e-9)
+            alpha = alpha / gather_rows(totals, dst, layout=layouts.dst)
+        messages = gather_rows(h, src, layout=layouts.src) * alpha.reshape(-1, self.heads, 1)
+        out = segment_sum(messages, dst, num_nodes, layout=layouts.dst)
         if self.concat:
             out = out.reshape(num_nodes, self.heads * self.head_dim)
         else:

@@ -18,7 +18,7 @@ import numpy as np
 
 from ..tensor import Tensor, as_tensor, functional as F, gather_rows, segment_softmax, segment_sum
 from ..tensor.init import xavier_uniform, xavier_uniform_shape, zeros_init
-from .base import GraphConv, add_self_loops, extend_edge_weight_scaled
+from .base import GraphConv, extend_edge_weight_scaled, looped_constants
 
 
 class GATConv(GraphConv):
@@ -75,17 +75,21 @@ class GATConv(GraphConv):
         num_nodes: int,
         edge_weight: Optional[Tensor] = None,
     ) -> Tensor:
-        full_index = self._cached(
-            edge_index, lambda: (add_self_loops(edge_index, num_nodes),)
-        )[0]
+        full_index, layouts = self._cached(
+            edge_index,
+            lambda: looped_constants(edge_index, num_nodes),
+            tag=("loops", num_nodes),
+        )
         src, dst = full_index
         h = (x @ self.weight).reshape(num_nodes, self.heads, self.head_dim)
         # Additive attention: alpha_e = leakyrelu(a_s . h_src + a_d . h_dst).
         score_src = (h * self.att_src).sum(axis=-1)  # (N, H)
         score_dst = (h * self.att_dst).sum(axis=-1)
-        edge_scores = gather_rows(score_src, src) + gather_rows(score_dst, dst)
+        edge_scores = gather_rows(score_src, src, layout=layouts.src) + gather_rows(
+            score_dst, dst, layout=layouts.dst
+        )
         edge_scores = F.leaky_relu(edge_scores, self.negative_slope)
-        alpha = segment_softmax(edge_scores, dst, num_nodes)  # (E, H)
+        alpha = segment_softmax(edge_scores, dst, num_nodes, layout=layouts.dst)  # (E, H)
         self.last_attention = alpha.data.copy()
         self.last_edge_index = full_index
         w = extend_edge_weight_scaled(edge_weight, edge_index, num_nodes)
@@ -93,10 +97,10 @@ class GATConv(GraphConv):
             # Mask-reweighted attention, renormalised per destination so a
             # uniform mask inflation cannot game the classification loss.
             alpha = alpha * w.reshape(-1, 1)
-            totals = segment_sum(alpha, dst, num_nodes) + as_tensor(1e-9)
-            alpha = alpha / gather_rows(totals, dst)
-        messages = gather_rows(h, src) * alpha.reshape(-1, self.heads, 1)
-        out = segment_sum(messages, dst, num_nodes)  # (N, H, D)
+            totals = segment_sum(alpha, dst, num_nodes, layout=layouts.dst) + as_tensor(1e-9)
+            alpha = alpha / gather_rows(totals, dst, layout=layouts.dst)
+        messages = gather_rows(h, src, layout=layouts.src) * alpha.reshape(-1, self.heads, 1)
+        out = segment_sum(messages, dst, num_nodes, layout=layouts.dst)  # (N, H, D)
         if self.concat:
             out = out.reshape(num_nodes, self.heads * self.head_dim)
         else:

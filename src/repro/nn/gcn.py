@@ -17,6 +17,7 @@ from .base import (
     GraphConv,
     extend_edge_weight_scaled,
     gcn_constants,
+    looped_constants,
     weighted_aggregate,
 )
 
@@ -47,10 +48,14 @@ class GCNConv(GraphConv):
     ) -> Tensor:
         h = x @ self.weight
         if edge_weight is None:
-            full_index, coefficients = self._cached(
-                edge_index, lambda: gcn_constants(edge_index, num_nodes), tag="norm"
+            full_index, coefficients, layouts = self._cached(
+                edge_index,
+                lambda: gcn_constants(edge_index, num_nodes),
+                tag=("norm", num_nodes),
             )
-            out = weighted_aggregate(h, full_index, num_nodes, coefficients, None)
+            out = weighted_aggregate(
+                h, full_index, num_nodes, coefficients, None, layouts=layouts
+            )
         else:
             out = self._masked_aggregate(h, edge_index, num_nodes, edge_weight)
         if self.bias is not None:
@@ -69,22 +74,19 @@ class GCNConv(GraphConv):
         the classification loss by *re-weighting* neighbours (the behaviour
         Eq. 8 is meant to train).
         """
-        full_index = self._cached(
+        full_index, layouts = self._cached(
             edge_index,
-            lambda: (
-                np.hstack(
-                    [
-                        edge_index,
-                        np.tile(np.arange(num_nodes, dtype=np.int64), (2, 1)),
-                    ]
-                ),
-            ),
-            tag="loops",
-        )[0]
+            lambda: looped_constants(edge_index, num_nodes),
+            tag=("loops", num_nodes),
+        )
         w = extend_edge_weight_scaled(edge_weight, edge_index, num_nodes)
         src, dst = full_index
-        degree = segment_sum(w, dst, num_nodes) + as_tensor(1e-9)
+        degree = segment_sum(w, dst, num_nodes, layout=layouts.dst) + as_tensor(1e-9)
         inv_sqrt = degree ** -0.5
-        coeff = w * gather_rows(inv_sqrt, src) * gather_rows(inv_sqrt, dst)
-        messages = gather_rows(h, src) * coeff.reshape(-1, 1)
-        return segment_sum(messages, dst, num_nodes)
+        coeff = (
+            w
+            * gather_rows(inv_sqrt, src, layout=layouts.src)
+            * gather_rows(inv_sqrt, dst, layout=layouts.dst)
+        )
+        messages = gather_rows(h, src, layout=layouts.src) * coeff.reshape(-1, 1)
+        return segment_sum(messages, dst, num_nodes, layout=layouts.dst)

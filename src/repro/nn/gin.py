@@ -13,7 +13,7 @@ import numpy as np
 
 from ..tensor import MLP, Tensor, as_tensor, gather_rows, segment_sum
 from ..tensor.tensor import Tensor as _Tensor
-from .base import GraphConv
+from .base import GraphConv, edge_layouts
 
 
 class GINConv(GraphConv):
@@ -44,10 +44,15 @@ class GINConv(GraphConv):
         num_nodes: int,
         edge_weight: Optional[Tensor] = None,
     ) -> Tensor:
+        layouts = self._cached(
+            edge_index,
+            lambda: (edge_layouts(edge_index, num_nodes),),
+            tag=("plain", num_nodes),
+        )[0]
         src, dst = edge_index
-        messages = gather_rows(x, src)
+        messages = gather_rows(x, src, layout=layouts.src)
         if edge_weight is not None:
             messages = messages * edge_weight.reshape(-1, 1)
-        aggregated = segment_sum(messages, dst, num_nodes)
+        aggregated = segment_sum(messages, dst, num_nodes, layout=layouts.dst)
         combined = x * (as_tensor(1.0) + self.eps) + aggregated
         return self.mlp(combined)

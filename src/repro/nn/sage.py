@@ -14,7 +14,7 @@ import numpy as np
 
 from ..tensor import Tensor, as_tensor, gather_rows, segment_mean, segment_sum
 from ..tensor.init import xavier_uniform, zeros_init
-from .base import GraphConv
+from .base import GraphConv, edge_layouts
 
 
 class SAGEConv(GraphConv):
@@ -42,14 +42,21 @@ class SAGEConv(GraphConv):
         num_nodes: int,
         edge_weight: Optional[Tensor] = None,
     ) -> Tensor:
+        layouts = self._cached(
+            edge_index,
+            lambda: (edge_layouts(edge_index, num_nodes),),
+            tag=("plain", num_nodes),
+        )[0]
         src, dst = edge_index
-        messages = gather_rows(x, src)
+        messages = gather_rows(x, src, layout=layouts.src)
         if edge_weight is None:
-            aggregated = segment_mean(messages, dst, num_nodes)
+            aggregated = segment_mean(messages, dst, num_nodes, layout=layouts.dst)
         else:
             w = edge_weight.reshape(-1, 1)
-            weighted = segment_sum(messages * w, dst, num_nodes)
-            denom = segment_sum(edge_weight, dst, num_nodes) + as_tensor(1e-12)
+            weighted = segment_sum(messages * w, dst, num_nodes, layout=layouts.dst)
+            denom = segment_sum(
+                edge_weight, dst, num_nodes, layout=layouts.dst
+            ) + as_tensor(1e-12)
             aggregated = weighted / denom.reshape(-1, 1)
         out = x @ self.weight_self + aggregated @ self.weight_neigh
         if self.bias is not None:

@@ -17,7 +17,7 @@ import numpy as np
 
 from ..tensor import Tensor, as_tensor, gather_rows, segment_softmax, segment_sum
 from ..tensor.init import xavier_uniform, zeros_init
-from .base import GraphConv, add_self_loops, extend_edge_weight_scaled
+from .base import GraphConv, extend_edge_weight_scaled, looped_constants
 
 
 class TransformerConv(GraphConv):
@@ -52,24 +52,31 @@ class TransformerConv(GraphConv):
         num_nodes: int,
         edge_weight: Optional[Tensor] = None,
     ) -> Tensor:
-        full_index = self._cached(
-            edge_index, lambda: (add_self_loops(edge_index, num_nodes),)
-        )[0]
+        full_index, layouts = self._cached(
+            edge_index,
+            lambda: looped_constants(edge_index, num_nodes),
+            tag=("loops", num_nodes),
+        )
         src, dst = full_index
         shape = (num_nodes, self.heads, self.head_dim)
         query = (x @ self.weight_query).reshape(*shape)
         key = (x @ self.weight_key).reshape(*shape)
         value = (x @ self.weight_value).reshape(*shape)
-        scores = (gather_rows(query, dst) * gather_rows(key, src)).sum(axis=-1)
+        scores = (
+            gather_rows(query, dst, layout=layouts.dst)
+            * gather_rows(key, src, layout=layouts.src)
+        ).sum(axis=-1)
         scores = scores * (1.0 / np.sqrt(self.head_dim))
-        alpha = segment_softmax(scores, dst, num_nodes)
+        alpha = segment_softmax(scores, dst, num_nodes, layout=layouts.dst)
         self.last_attention = alpha.data.copy()
         w = extend_edge_weight_scaled(edge_weight, edge_index, num_nodes)
         if w is not None:
             # Renormalise mask-reweighted attention per destination (see GATConv).
             alpha = alpha * w.reshape(-1, 1)
-            totals = segment_sum(alpha, dst, num_nodes) + as_tensor(1e-9)
-            alpha = alpha / gather_rows(totals, dst)
-        messages = gather_rows(value, src) * alpha.reshape(-1, self.heads, 1)
-        out = segment_sum(messages, dst, num_nodes).reshape(num_nodes, self.out_features)
+            totals = segment_sum(alpha, dst, num_nodes, layout=layouts.dst) + as_tensor(1e-9)
+            alpha = alpha / gather_rows(totals, dst, layout=layouts.dst)
+        messages = gather_rows(value, src, layout=layouts.src) * alpha.reshape(-1, self.heads, 1)
+        out = segment_sum(messages, dst, num_nodes, layout=layouts.dst).reshape(
+            num_nodes, self.out_features
+        )
         return out + x @ self.weight_skip + self.bias

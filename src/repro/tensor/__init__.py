@@ -16,6 +16,7 @@ This subpackage replaces PyTorch for the SES reproduction.  Public surface:
 
 from . import functional
 from .alloc import AllocationTracker
+from .csr import CSRSegmentLayout, cached_layout, clear_layout_cache
 from .init import xavier_uniform, xavier_uniform_shape, zeros_init
 from .module import MLP, Dropout, Linear, Module, Sequential
 from .optim import SGD, Adam, Optimizer
@@ -32,6 +33,9 @@ __all__ = [
     "zeros",
     "ones",
     "functional",
+    "CSRSegmentLayout",
+    "cached_layout",
+    "clear_layout_cache",
     "gather_rows",
     "segment_sum",
     "segment_mean",

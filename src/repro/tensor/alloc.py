@@ -26,31 +26,46 @@ import weakref
 class AllocationTracker:
     """Counts allocated / live / peak-live bytes of tracked tensors."""
 
-    __slots__ = ("bytes_allocated", "live_bytes", "peak_live_bytes", "tracked_tensors")
+    __slots__ = ("bytes_allocated", "live_bytes", "peak_live_bytes",
+                 "tracked_tensors", "_live_ids")
 
     def __init__(self) -> None:
         self.bytes_allocated = 0
         self.live_bytes = 0
         self.peak_live_bytes = 0
         self.tracked_tensors = 0
+        # ids of currently-tracked live tensors: makes track() idempotent,
+        # so a tensor that reaches the profiler hook twice (or one whose
+        # data is a cached/reused buffer re-wrapped by a caller) is counted
+        # exactly once and never double-decremented by its finalizers.
+        self._live_ids = set()
 
     def track(self, tensor) -> int:
         """Account for ``tensor``'s array; returns its size in bytes.
 
         A finalizer decrements :attr:`live_bytes` when the tensor is
         garbage-collected, which is what makes :attr:`peak_live_bytes` a
-        true high-water mark rather than a cumulative sum.
+        true high-water mark rather than a cumulative sum.  Tracking the
+        same live tensor again is a no-op returning 0: one tensor, one
+        finalizer, one byte count.
         """
+        key = id(tensor)
+        if key in self._live_ids:
+            return 0
+        self._live_ids.add(key)
         nbytes = int(tensor.data.nbytes)
         self.bytes_allocated += nbytes
         self.live_bytes += nbytes
         self.tracked_tensors += 1
         if self.live_bytes > self.peak_live_bytes:
             self.peak_live_bytes = self.live_bytes
-        weakref.finalize(tensor, self._release, nbytes)
+        weakref.finalize(tensor, self._release, nbytes, key)
         return nbytes
 
-    def _release(self, nbytes: int) -> None:
+    def _release(self, nbytes: int, key: int) -> None:
+        # Discard the id before decrementing: after collection the id may be
+        # reused by a brand-new tensor, which must be trackable again.
+        self._live_ids.discard(key)
         self.live_bytes -= nbytes
 
     def summary(self) -> dict:

@@ -6,47 +6,116 @@ per edge, then segment-sum back onto destination nodes.  Because the SES
 structure mask multiplies per-edge weights inside this pipeline (paper
 Eq. 8), all three primitives must be differentiable — including with respect
 to the edge weights.
+
+Two implementations back each primitive:
+
+* the **CSR path** (default) reduces over a destination-sorted edge layout
+  (:class:`~repro.tensor.csr.CSRSegmentLayout`): sums ride the layout's CSR
+  aggregation operator through scipy's C SpMM kernel, maxima use
+  ``np.maximum.reduceat`` over the sorted runs, and the backward closures
+  reuse the layout's scratch buffers.  Callers with a fixed topology pass
+  the memoised layout via ``layout=``; otherwise a content-keyed global
+  cache resolves it transparently.
+* the **naive path** (``naive=True``) is the original dense-scatter
+  reference built on ``np.add.at`` / ``np.maximum.at``.  It is kept as the
+  differential-test oracle (``tests/tensor/test_scatter_differential.py``,
+  ``scripts/selfcheck.py``) and as an escape hatch — see docs/PERF.md.
+
+Both paths produce the same values up to float summation order.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+from .csr import CSRSegmentLayout, cached_layout
 from .tensor import Tensor, as_tensor
 
 
-def gather_rows(x: Tensor, index: np.ndarray) -> Tensor:
+def _resolve_layout(
+    layout: Optional[CSRSegmentLayout],
+    segment_ids: np.ndarray,
+    num_segments: int,
+    num_items: int,
+) -> CSRSegmentLayout:
+    """Validate an explicit layout or fall back to the global memo."""
+    if layout is None:
+        return cached_layout(segment_ids, num_segments)
+    if layout.num_segments != num_segments or layout.num_items != num_items:
+        raise ValueError(
+            f"layout covers {layout.num_items} items / {layout.num_segments} "
+            f"segments, call has {num_items} items / {num_segments} segments"
+        )
+    return layout
+
+
+def gather_rows(
+    x: Tensor,
+    index: np.ndarray,
+    layout: Optional[CSRSegmentLayout] = None,
+    naive: bool = False,
+) -> Tensor:
     """Select rows ``x[index]``; the adjoint scatter-adds into the source.
 
     ``index`` may repeat (it is typically the source column of an edge
-    list), so the backward uses ``np.add.at`` to accumulate duplicates.
+    list).  The CSR backward segment-sums the incoming gradient through the
+    cached layout's aggregation operator into a reused workspace;
+    ``naive=True`` restores the original ``np.add.at`` scatter.
     """
     index = np.asarray(index, dtype=np.int64)
     out_data = x.data[index]
     n_rows = x.shape[0]
     trailing = x.shape[1:]
+    # The CSR adjoint requires a flat, in-range index (layouts reject
+    # anything else); exotic gathers keep the reference scatter.
+    use_naive = naive or index.ndim != 1
+    if not use_naive and layout is None and index.size and int(index.min()) < 0:
+        use_naive = True
 
-    def backward(grad: np.ndarray) -> None:
-        full = np.zeros((n_rows, *trailing), dtype=np.float64)
-        np.add.at(full, index, grad)
-        x._accumulate(full)
+    if use_naive:
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros((n_rows, *trailing), dtype=np.float64)
+            np.add.at(full, index, grad)
+            x._accumulate(full)
+
+    else:
+
+        def backward(grad: np.ndarray) -> None:
+            resolved = _resolve_layout(layout, index, n_rows, index.shape[0])
+            x._accumulate(resolved.scatter_add(grad, role="gather_rows"))
 
     return Tensor._make(out_data, (x,), backward)
 
 
-def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+def segment_sum(
+    x: Tensor,
+    segment_ids: np.ndarray,
+    num_segments: int,
+    layout: Optional[CSRSegmentLayout] = None,
+    naive: bool = False,
+) -> Tensor:
     """Sum rows of ``x`` into ``num_segments`` buckets given by ``segment_ids``.
 
     The forward is the scatter-add of message passing; its adjoint is a
-    plain gather.
+    plain gather.  The CSR path sums contiguous destination-sorted runs via
+    the layout's aggregation operator; ``naive=True`` restores ``np.add.at``.
     """
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
     if segment_ids.shape[0] != x.shape[0]:
         raise ValueError(
             f"segment_ids has {segment_ids.shape[0]} entries for {x.shape[0]} rows"
         )
-    out_data = np.zeros((num_segments, *x.shape[1:]), dtype=np.float64)
-    np.add.at(out_data, segment_ids, x.data)
+    if naive:
+        out_data = np.zeros((num_segments, *x.shape[1:]), dtype=np.float64)
+        np.add.at(out_data, segment_ids, x.data)
+    else:
+        resolved = _resolve_layout(layout, segment_ids, num_segments, x.shape[0])
+        # Forward output becomes tensor storage — allocated fresh, never the
+        # layout's scratch.
+        out_data = resolved.segment_add(x.data)
 
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad[segment_ids])
@@ -54,32 +123,68 @@ def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor
     return Tensor._make(out_data, (x,), backward)
 
 
-def segment_mean(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+def segment_mean(
+    x: Tensor,
+    segment_ids: np.ndarray,
+    num_segments: int,
+    layout: Optional[CSRSegmentLayout] = None,
+    naive: bool = False,
+) -> Tensor:
     """Average rows per segment (GraphSAGE's mean aggregator).
 
     Empty segments produce zero rows rather than NaNs.
     """
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
-    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    if segment_ids.shape[0] != x.shape[0]:
+        raise ValueError(
+            f"segment_ids has {segment_ids.shape[0]} entries for {x.shape[0]} rows"
+        )
+    if naive:
+        counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    else:
+        layout = _resolve_layout(layout, segment_ids, num_segments, x.shape[0])
+        counts = layout.counts.astype(np.float64)
     counts = np.maximum(counts, 1.0)
-    summed = segment_sum(x, segment_ids, num_segments)
+    summed = segment_sum(x, segment_ids, num_segments, layout=layout, naive=naive)
     shape = (num_segments,) + (1,) * (x.ndim - 1)
     return summed * as_tensor(1.0 / counts.reshape(shape))
 
 
-def segment_softmax(scores: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+def segment_softmax(
+    scores: Tensor,
+    segment_ids: np.ndarray,
+    num_segments: int,
+    layout: Optional[CSRSegmentLayout] = None,
+    naive: bool = False,
+) -> Tensor:
     """Softmax over edges grouped by destination node (GAT attention).
 
     ``scores`` may be ``(E,)`` or ``(E, H)`` for multi-head attention.
     Composed from differentiable primitives so the adjoint is exact: the
     per-segment max is subtracted as a constant for numerical stability
     (subtracting a constant does not change softmax or its gradient).
+
+    Segments with no incoming edges have their ``-inf`` max substituted by
+    ``0.0``; since no score row belongs to such a segment, the substitution
+    is never gathered and the op stays NaN-free with exactly zero gradient
+    contribution from empty segments — see the regression tests in
+    ``tests/tensor/test_scatter_differential.py``.
     """
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
-    seg_max = np.full((num_segments, *scores.shape[1:]), -np.inf)
-    np.maximum.at(seg_max, segment_ids, scores.data)
+    if segment_ids.shape[0] != scores.shape[0]:
+        raise ValueError(
+            f"segment_ids has {segment_ids.shape[0]} entries for "
+            f"{scores.shape[0]} rows"
+        )
+    if naive:
+        seg_max = np.full((num_segments, *scores.shape[1:]), -np.inf)
+        if segment_ids.size:
+            np.maximum.at(seg_max, segment_ids, scores.data)
+    else:
+        layout = _resolve_layout(layout, segment_ids, num_segments, scores.shape[0])
+        seg_max = layout.segment_max(scores.data)
     seg_max[~np.isfinite(seg_max)] = 0.0
     shifted = scores - as_tensor(seg_max[segment_ids])
     exp = shifted.exp()
-    denom = segment_sum(exp, segment_ids, num_segments)
-    return exp / gather_rows(denom, segment_ids)
+    denom = segment_sum(exp, segment_ids, num_segments, layout=layout, naive=naive)
+    return exp / gather_rows(denom, segment_ids, layout=layout, naive=naive)

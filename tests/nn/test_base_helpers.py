@@ -75,13 +75,13 @@ class TestWeightedAggregate:
 class TestGCNConstants:
     def test_symmetric_pair_coefficients_equal(self, edges):
         sym_edges = np.array([[0, 1], [1, 0]], dtype=np.int64)
-        full, coefficients = gcn_constants(sym_edges, 2)
+        full, coefficients, _layouts = gcn_constants(sym_edges, 2)
         forward = coefficients[0]
         backward = coefficients[1]
         assert forward == pytest.approx(backward)
 
     def test_self_loop_coefficient_of_isolated_node(self):
         no_edges = np.zeros((2, 0), dtype=np.int64)
-        full, coefficients = gcn_constants(no_edges, 2)
+        full, coefficients, _layouts = gcn_constants(no_edges, 2)
         # Isolated node with self-loop: degree 1 -> coefficient 1.
         np.testing.assert_allclose(coefficients, 1.0)

@@ -1,0 +1,87 @@
+"""Allocation accounting vs reused CSR workspace buffers.
+
+The CSR segment kernels reuse per-layout scratch arrays across backward
+passes.  The tracker must count each *tensor* exactly once — re-tracking a
+live tensor (or a tensor wrapping a reused buffer) is a no-op, and the
+weakref finalizer that releases its bytes must fire exactly once, never
+driving ``live_bytes`` negative.
+"""
+
+import gc
+
+import numpy as np
+
+from repro.obs import OpProfiler
+from repro.tensor import CSRSegmentLayout, Tensor, gather_rows, segment_sum
+from repro.tensor.alloc import AllocationTracker
+
+
+class TestTrackIdempotence:
+    def test_same_tensor_tracked_exactly_once(self):
+        tracker = AllocationTracker()
+        tensor = Tensor(np.zeros(16, dtype=np.float64))
+        assert tracker.track(tensor) == 16 * 8
+        assert tracker.track(tensor) == 0  # second track is a no-op
+        assert tracker.tracked_tensors == 1
+        assert tracker.bytes_allocated == 16 * 8
+        assert tracker.live_bytes == 16 * 8
+
+    def test_no_double_decrement_when_retracked_tensor_dies(self):
+        tracker = AllocationTracker()
+        tensor = Tensor(np.zeros(8, dtype=np.float64))
+        tracker.track(tensor)
+        tracker.track(tensor)  # must not register a second finalizer
+        del tensor
+        gc.collect()
+        assert tracker.live_bytes == 0  # exactly one release, not two
+        assert tracker.peak_live_bytes == 8 * 8
+
+    def test_new_tensor_trackable_after_previous_one_collected(self):
+        tracker = AllocationTracker()
+        first = Tensor(np.zeros(4, dtype=np.float64))
+        tracker.track(first)
+        del first
+        gc.collect()
+        second = Tensor(np.zeros(4, dtype=np.float64))
+        assert tracker.track(second) == 4 * 8  # id reuse must not block tracking
+        assert tracker.tracked_tensors == 2
+        assert tracker.live_bytes == 4 * 8
+
+
+class TestWorkspaceReuseCounting:
+    """Repeated CSR backward passes reuse scratch — counted zero times."""
+
+    def test_reused_backward_workspace_counted_exactly_once(self):
+        index = np.array([0, 2, 2, 3, 1], dtype=np.int64)
+        ids = np.array([0, 1, 1, 2, 0], dtype=np.int64)
+        gather_layout = CSRSegmentLayout(index, 4)
+        segment_layout = CSRSegmentLayout(ids, 3)
+        with OpProfiler() as prof:
+            for _ in range(3):
+                x = Tensor(np.ones((4, 3)), requires_grad=True)
+                gathered = gather_rows(x, index, layout=gather_layout)
+                out = segment_sum(gathered, ids, 3, layout=segment_layout)
+                out.sum().backward()
+        gc.collect()
+        summary = prof.alloc_summary()
+        # Only the three forward outputs per iteration are graph tensors;
+        # the backward scatter scratch lives inside the layout and must not
+        # inflate (or double-release) the accounting.
+        assert summary["tracked_tensors"] == 3 * 3
+        assert summary["live_bytes"] >= 0
+        assert summary["bytes_allocated"] == 3 * (
+            5 * 3 * 8  # gather_rows output (E, F)
+            + 3 * 3 * 8  # segment_sum output (N_seg, F)
+            + 8  # scalar loss
+        )
+        assert prof.stats["gather_rows"].backward_calls == 3
+
+    def test_workspace_bytes_visible_on_layout_not_tracker(self):
+        ids = np.array([0, 0, 1], dtype=np.int64)
+        layout = CSRSegmentLayout(ids, 2)
+        tracker = AllocationTracker()
+        x = Tensor(np.ones((2, 4)), requires_grad=True)
+        out = gather_rows(x, ids, layout=layout)
+        out.sum().backward()
+        assert layout.workspace_nbytes() > 0  # scratch exists...
+        assert tracker.live_bytes == 0  # ...but was never a tracked tensor

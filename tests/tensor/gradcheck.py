@@ -1,0 +1,88 @@
+"""Central finite-difference gradient checker for the autograd stack.
+
+:func:`assert_grad_close` is the single entry point used by the op-level
+and conv-level gradient suites.  It re-evaluates the function under test
+with every input element perturbed by ``±eps`` and compares the resulting
+central-difference slope against the analytic gradient from one backward
+pass, reducing multi-dimensional outputs to a scalar through a fixed
+random projection so every output element participates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+def max_relative_error(
+    analytic: np.ndarray, numeric: np.ndarray, floor: float = 1e-2
+) -> float:
+    """Element-wise ``|a - n| / max(|a|, |n|, floor)``, reduced with max.
+
+    The ``floor`` keeps the ratio well-behaved where both gradients are
+    near zero (there the comparison degrades gracefully into an absolute
+    check against ``floor * rtol``).
+    """
+    if analytic.size == 0:
+        return 0.0
+    scale = np.maximum(np.maximum(np.abs(analytic), np.abs(numeric)), floor)
+    return float(np.max(np.abs(analytic - numeric) / scale))
+
+
+def assert_grad_close(
+    fn: Callable[..., Tensor],
+    *tensors: Tensor,
+    eps: float = 1e-6,
+    rtol: float = 1e-5,
+    seed: int = 0,
+) -> None:
+    """Assert analytic gradients of ``fn(*tensors)`` match central differences.
+
+    ``fn`` must rebuild its graph on every call — it is re-evaluated twice
+    per input element with the underlying ``.data`` perturbed in place, so
+    any randomness inside it has to be seeded per call.  Gradients are
+    checked for every argument with ``requires_grad=True``; the max
+    relative error (see :func:`max_relative_error`) must stay below
+    ``rtol`` for each of them.
+    """
+    rng = np.random.default_rng(seed)
+    out = fn(*tensors)
+    proj = rng.standard_normal(out.data.shape)
+
+    for tensor in tensors:
+        tensor.zero_grad()
+    (out * Tensor(proj)).sum().backward()
+
+    def scalar() -> float:
+        return float((fn(*tensors).data * proj).sum())
+
+    for position, tensor in enumerate(tensors):
+        if not tensor.requires_grad:
+            continue
+        analytic = (
+            np.zeros_like(tensor.data)
+            if tensor.grad is None
+            else np.asarray(tensor.grad, dtype=np.float64)
+        )
+        numeric = np.zeros_like(tensor.data, dtype=np.float64)
+        iterator = np.nditer(tensor.data, flags=["multi_index"])
+        while not iterator.finished:
+            index = iterator.multi_index
+            original = tensor.data[index]
+            tensor.data[index] = original + eps
+            plus = scalar()
+            tensor.data[index] = original - eps
+            minus = scalar()
+            tensor.data[index] = original
+            numeric[index] = (plus - minus) / (2.0 * eps)
+            iterator.iternext()
+        error = max_relative_error(analytic, numeric)
+        if error > rtol:
+            raise AssertionError(
+                f"gradient mismatch for argument {position}: "
+                f"max relative error {error:.3e} exceeds rtol {rtol:.1e}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+            )

@@ -22,6 +22,7 @@ class TestDocsExist:
             "docs/REPRODUCTION_NOTES.md",
             "docs/NOTATION.md",
             "docs/OBSERVABILITY.md",
+            "docs/PERF.md",
             "benchmarks/README.md",
         ],
     )
