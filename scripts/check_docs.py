@@ -24,8 +24,10 @@ from typing import List, Tuple
 ROOT = Path(__file__).resolve().parent.parent
 
 DEFAULT_DOCS = [
+    "docs/API.md",
     "docs/OBSERVABILITY.md",
     "docs/PERF.md",
+    "docs/ROBUSTNESS.md",
     "docs/TUTORIAL.md",
 ]
 

@@ -165,6 +165,35 @@ def main() -> int:
             loaded = io.load_graph(path)
             assert loaded.num_nodes == graph.num_nodes
 
+    def crash_resume_parity():
+        import tempfile
+
+        from repro.core import SESTrainer, fast_config
+        from repro.datasets import load_dataset
+        from repro.graph import classification_split
+        from repro.resilience import FaultPlan, SimulatedCrash
+
+        def graph():
+            return classification_split(
+                load_dataset("cora", scale=0.15, seed=0), seed=0
+            )
+
+        config = fast_config("gcn", explainable_epochs=6, predictive_epochs=2, seed=0)
+        baseline = SESTrainer(graph(), config).fit()
+        for spec in ("crash@explainable:3", "crash@predictive:1"):
+            with tempfile.TemporaryDirectory() as tmp:
+                crashed = SESTrainer(graph(), config, faults=FaultPlan.parse(spec))
+                try:
+                    crashed.fit(checkpoint_every=1, checkpoint_dir=tmp)
+                    raise AssertionError(f"{spec} did not fire")
+                except SimulatedCrash:
+                    pass
+                resumed = SESTrainer(graph(), config).fit(resume_from=tmp)
+            assert resumed.history.phase1_loss == baseline.history.phase1_loss, spec
+            assert resumed.history.phase2_loss == baseline.history.phase2_loss, spec
+            assert np.array_equal(resumed.logits, baseline.logits), spec
+            assert resumed.test_accuracy == baseline.test_accuracy, spec
+
     check("autograd gradients", autograd, results)
     check("csr kernel parity", csr_kernel_parity, results)
     check("dataset generators", datasets, results)
@@ -174,6 +203,7 @@ def main() -> int:
     check("telemetry round-trip", telemetry_roundtrip, results)
     check("NaN watchdog", nan_watchdog, results)
     check("serialisation round-trip", serialisation, results)
+    check("crash-resume parity", crash_resume_parity, results)
 
     failed = [name for name, ok, *_ in results if not ok]
     print(f"\n{len(results) - len(failed)}/{len(results)} checks passed")

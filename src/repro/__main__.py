@@ -11,6 +11,10 @@ Equivalent to ``python examples/run_experiments.py``; see
   the CI gate; with one path, diffs against the committed baseline.
 * ``python -m repro doctor`` runs scripts/selfcheck.py +
   scripts/check_docs.py and prints one PASS/FAIL summary.
+* ``python -m repro run-ses [--checkpoint-every N] [--resume [PATH]]``
+  trains one SES configuration under the fault-tolerant runtime
+  (checkpoint/resume, NaN recovery, fault injection) — see
+  docs/ROBUSTNESS.md.
 * ``--telemetry`` makes every experiment harness write run records under
   ``results/runs/`` (sets ``REPRO_TELEMETRY=1`` for the invocation).
 """
@@ -24,7 +28,7 @@ import time
 
 from .experiments import ALL_EXPERIMENTS, get_profile
 
-SUBCOMMANDS = ("obs-report", "obs-diff", "doctor")
+SUBCOMMANDS = ("obs-report", "obs-diff", "doctor", "run-ses")
 
 
 def main(argv=None) -> int:
@@ -41,6 +45,10 @@ def main(argv=None) -> int:
         from . import doctor
 
         return doctor.main(argv[1:])
+    if argv and argv[0] == "run-ses":
+        from . import run_ses
+
+        return run_ses.main(argv[1:])
 
     parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
     parser.add_argument(

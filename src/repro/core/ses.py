@@ -20,8 +20,10 @@ prediction accuracy" (paper §5.6).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -46,7 +48,20 @@ from ..tensor import (
     segment_mean,
     segment_sum,
 )
-from ..obs import MonitorSet, NullRecorder, default_monitors, default_recorder
+from ..obs import MonitorSet, NullRecorder, NumericalAnomalyError, default_monitors, default_recorder
+from ..resilience import (
+    FaultPlan,
+    RecoveryManager,
+    RecoveryPolicy,
+    TrainingSnapshot,
+    capture_training_snapshot,
+    find_latest_snapshot,
+    load_snapshot,
+    recovery_policy_from_env,
+    restore_training_snapshot,
+    save_snapshot,
+    write_latest_pointer,
+)
 from ..utils import Stopwatch, make_rng
 from .config import SESConfig
 from .explanations import Explanations
@@ -139,6 +154,8 @@ class SESTrainer:
         rng: Optional[np.random.Generator] = None,
         recorder: Optional[NullRecorder] = None,
         monitors: Optional[MonitorSet] = None,
+        recovery: Optional[RecoveryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if graph.labels is None or graph.train_mask is None:
             raise ValueError("SES requires labels and split masks on the graph")
@@ -191,6 +208,20 @@ class SESTrainer:
         self._best_readout = "masked"
         self._edge_sensitivity = np.zeros(self.khop_edges.shape[1])
         self.history = TrainingHistory()
+        # Fault-tolerance state (docs/ROBUSTNESS.md): completed-epoch
+        # counters drive resumable while-loops, optimizers persist across
+        # snapshot/restore, and the recovery manager holds the last good
+        # in-memory snapshot for rollback.
+        self._completed: Dict[str, int] = {"explainable": 0, "predictive": 0}
+        self._optimizers: Dict[str, Adam] = {}
+        self._checkpoint_every = 0
+        self._checkpoint_dir: Optional[Path] = None
+        self._checkpoint_keep = 3
+        self.faults = faults if faults is not None else FaultPlan.from_env()
+        policy = recovery if recovery is not None else recovery_policy_from_env()
+        self.recovery = (
+            RecoveryManager(policy, self.recorder) if policy is not None else None
+        )
 
     # ------------------------------------------------------------------
     # Setup helpers
@@ -249,6 +280,32 @@ class SESTrainer:
         )
         self.negative_pairs = negative_edge_index(self._negative_sets)
 
+    def _optimizer(self, phase: str) -> Adam:
+        """The persistent per-phase optimizer (created on first access).
+
+        Persistence matters for resume: Adam's moments and step count are
+        part of the training state, so the optimizer must be a stable object
+        that snapshots can capture and restores can load back into — not a
+        local recreated every call to ``train_*``.
+        """
+        optimizer = self._optimizers.get(phase)
+        if optimizer is not None:
+            return optimizer
+        cfg = self.config
+        if phase == "explainable":
+            params = list(self.model.encoder_parameters()) + list(
+                self.model.mask_parameters()
+            )
+            lr = cfg.learning_rate
+        elif phase == "predictive":
+            params = list(self.model.encoder_parameters())
+            lr = cfg.learning_rate * cfg.predictive_lr_scale
+        else:
+            raise ValueError(f"unknown training phase {phase!r}")
+        optimizer = Adam(params, lr=lr, weight_decay=cfg.weight_decay)
+        self._optimizers[phase] = optimizer
+        return optimizer
+
     # ------------------------------------------------------------------
     # Phase 1: explainable training
     # ------------------------------------------------------------------
@@ -258,127 +315,165 @@ class SESTrainer:
         snapshot_epochs: Tuple[int, ...] = (),
         callback: Optional[Callable[[int, float], None]] = None,
     ) -> TrainingHistory:
-        """Co-train encoder and mask generator (Algorithm 2, lines 2–6)."""
+        """Co-train encoder and mask generator (Algorithm 2, lines 2–6).
+
+        Resumable: the loop runs from ``self._completed["explainable"]`` to
+        ``epochs``, so a trainer restored from a mid-phase snapshot continues
+        where the interrupted run stopped.
+        """
         cfg = self.config
         epochs = epochs if epochs is not None else cfg.explainable_epochs
-        params = list(self.model.encoder_parameters()) + list(self.model.mask_parameters())
-        optimizer = Adam(params, lr=cfg.learning_rate, weight_decay=cfg.weight_decay)
-        graph, model = self.graph, self.model
+        if (
+            self._completed["explainable"] >= epochs
+            and self._frozen_structure_values is not None
+        ):
+            # Resumed past the end of this phase: the snapshot's frozen masks
+            # are authoritative.  Recomputing them here would read the
+            # *current* (possibly phase-2-refined) parameters and silently
+            # change the explanations mid-pipeline.
+            return self.history
         snapshot_set = set(snapshot_epochs)
         with self.recorder.phase("explainable", self.stopwatch), \
                 self.monitors.watch("explainable"):
-            for epoch in range(epochs):
-                if cfg.resample_negatives and epoch > 0:
-                    self._resample_negatives()
-                model.train()
-                optimizer.zero_grad()
-                self.monitors.set_context(phase="explainable", epoch=epoch)
-                with self.recorder.span(f"epoch{epoch}"):
-                    with self.recorder.span("forward"):
-                        hidden, representation, logits = model.encoder.forward_full(
-                            self.features, self.edge_index, self.num_nodes
-                        )
-                        scorer_input = (
-                            representation
-                            if cfg.structure_scorer_input == "representation"
-                            else hidden
-                        )
-                        feature_mask = model.mask_generator.feature_mask(hidden)
-                        structure_mask = model.mask_generator.structure_mask(
-                            scorer_input, self.khop_edges
-                        )
-                        negative_mask = model.mask_generator.negative_mask(
-                            scorer_input, self.negative_pairs
-                        )
-                        plain_xent = F.cross_entropy(
-                            logits, graph.labels, mask=graph.train_mask
-                        )
-                        sub_loss = subgraph_loss(
-                            structure_mask,
-                            negative_mask,
-                            self.khop_edges,
-                            self.negative_pairs,
-                            labels=graph.labels,
-                            train_mask=graph.train_mask,
-                            target_mode=cfg.subgraph_target,
-                        )
-                        masked_xent = None
-                        probe = None
-                        if cfg.use_masked_xent:
-                            masked_features = (
-                                self.features * feature_mask
-                                if cfg.use_feature_mask
-                                else self.features
-                            )
-                            # A zero additive probe exposes the per-edge
-                            # sensitivity of the masked loss
-                            # (probe.grad = dL/dw_e) without changing the
-                            # forward pass; accumulated over the second half
-                            # of training it becomes the sensitivity component
-                            # of E_sub (config.structure_explanation).
-                            probe = Tensor(
-                                np.zeros(self.khop_edges.shape[1]), requires_grad=True
-                            )
-                            masked_logits = model.encoder(
-                                masked_features,
-                                self.khop_edges,
-                                self.num_nodes,
-                                edge_weight=structure_mask + probe,
-                            )
-                            masked_xent = F.cross_entropy(
-                                masked_logits, graph.labels, mask=graph.train_mask
-                            )
-                        loss = explainable_training_loss(
-                            plain_xent, masked_xent, sub_loss, cfg.alpha,
-                            sub_loss_weight=cfg.sub_loss_weight,
-                        )
-                    with self.recorder.span("backward"):
-                        loss.backward()
-                    optimizer.step()
-                if self.monitors:
-                    self.monitors.after_backward(
-                        "explainable", epoch, self.model.named_parameters()
-                    )
-                    self.monitors.observe_masks(
-                        "explainable", epoch,
-                        feature=feature_mask.data, structure=structure_mask.data,
-                    )
-                    self.monitors.observe_activations(
-                        "explainable", epoch,
-                        hidden=hidden.data, logits=logits.data,
-                    )
-                if probe is not None and probe.grad is not None and epoch >= epochs // 2:
-                    # Negative gradient: making this edge heavier lowers the
-                    # masked classification loss -> the edge is important.
-                    self._edge_sensitivity += np.maximum(-probe.grad, 0.0)
-
-                self.history.phase1_loss.append(loss.item())
-                if graph.val_mask is not None and graph.val_mask.any():
-                    self.history.phase1_val_accuracy.append(
-                        self._evaluate_plain(graph.val_mask)
-                    )
-                if self.recorder.enabled:
-                    self.recorder.epoch(
-                        "explainable",
-                        epoch,
-                        loss.item(),
-                        val_accuracy=(
-                            self.history.phase1_val_accuracy[-1]
-                            if self.history.phase1_val_accuracy
-                            else None
-                        ),
-                        feature_mask_sparsity=float(np.mean(feature_mask.data < 0.5)),
-                        structure_mask_sparsity=float(np.mean(structure_mask.data < 0.5)),
-                    )
-                if epoch in snapshot_set:
-                    self.history.mask_snapshots[epoch] = (
-                        feature_mask.data.copy(),
-                        structure_mask.data.copy(),
-                    )
-                if callback is not None:
-                    callback(epoch, loss.item())
+            if self.recovery is not None:
+                self.recovery.ensure_baseline(self)
+            while self._completed["explainable"] < epochs:
+                epoch = self._completed["explainable"]
+                self.faults.check_crash("explainable", epoch)
+                status = self._run_epoch_guarded(
+                    "explainable",
+                    epoch,
+                    lambda: self._explainable_epoch(epoch, epochs, snapshot_set, callback),
+                )
+                if status == "degrade":
+                    break
+                if status == "ok":
+                    self._completed["explainable"] = epoch + 1
+                    self._after_epoch("explainable")
         self._freeze_masks()
         return self.history
+
+    def _explainable_epoch(
+        self,
+        epoch: int,
+        epochs: int,
+        snapshot_set: set,
+        callback: Optional[Callable[[int, float], None]],
+    ) -> float:
+        """One explainable-training epoch; returns the epoch loss."""
+        cfg = self.config
+        graph, model = self.graph, self.model
+        optimizer = self._optimizer("explainable")
+        if cfg.resample_negatives and epoch > 0:
+            self._resample_negatives()
+        model.train()
+        optimizer.zero_grad()
+        self.monitors.set_context(phase="explainable", epoch=epoch)
+        with self.recorder.span(f"epoch{epoch}"):
+            with self.recorder.span("forward"):
+                hidden, representation, logits = model.encoder.forward_full(
+                    self.features, self.edge_index, self.num_nodes
+                )
+                scorer_input = (
+                    representation
+                    if cfg.structure_scorer_input == "representation"
+                    else hidden
+                )
+                feature_mask = model.mask_generator.feature_mask(hidden)
+                structure_mask = model.mask_generator.structure_mask(
+                    scorer_input, self.khop_edges
+                )
+                negative_mask = model.mask_generator.negative_mask(
+                    scorer_input, self.negative_pairs
+                )
+                plain_xent = F.cross_entropy(
+                    logits, graph.labels, mask=graph.train_mask
+                )
+                sub_loss = subgraph_loss(
+                    structure_mask,
+                    negative_mask,
+                    self.khop_edges,
+                    self.negative_pairs,
+                    labels=graph.labels,
+                    train_mask=graph.train_mask,
+                    target_mode=cfg.subgraph_target,
+                )
+                masked_xent = None
+                probe = None
+                if cfg.use_masked_xent:
+                    masked_features = (
+                        self.features * feature_mask
+                        if cfg.use_feature_mask
+                        else self.features
+                    )
+                    # A zero additive probe exposes the per-edge
+                    # sensitivity of the masked loss
+                    # (probe.grad = dL/dw_e) without changing the
+                    # forward pass; accumulated over the second half
+                    # of training it becomes the sensitivity component
+                    # of E_sub (config.structure_explanation).
+                    probe = Tensor(
+                        np.zeros(self.khop_edges.shape[1]), requires_grad=True
+                    )
+                    masked_logits = model.encoder(
+                        masked_features,
+                        self.khop_edges,
+                        self.num_nodes,
+                        edge_weight=structure_mask + probe,
+                    )
+                    masked_xent = F.cross_entropy(
+                        masked_logits, graph.labels, mask=graph.train_mask
+                    )
+                loss = explainable_training_loss(
+                    plain_xent, masked_xent, sub_loss, cfg.alpha,
+                    sub_loss_weight=cfg.sub_loss_weight,
+                )
+            with self.recorder.span("backward"):
+                loss.backward()
+            optimizer.step()
+        if self.monitors:
+            self.monitors.after_backward(
+                "explainable", epoch, self.model.named_parameters()
+            )
+            self.monitors.observe_masks(
+                "explainable", epoch,
+                feature=feature_mask.data, structure=structure_mask.data,
+            )
+            self.monitors.observe_activations(
+                "explainable", epoch,
+                hidden=hidden.data, logits=logits.data,
+            )
+        if probe is not None and probe.grad is not None and epoch >= epochs // 2:
+            # Negative gradient: making this edge heavier lowers the
+            # masked classification loss -> the edge is important.
+            self._edge_sensitivity += np.maximum(-probe.grad, 0.0)
+
+        self.history.phase1_loss.append(loss.item())
+        if graph.val_mask is not None and graph.val_mask.any():
+            self.history.phase1_val_accuracy.append(
+                self._evaluate_plain(graph.val_mask)
+            )
+        if self.recorder.enabled:
+            self.recorder.epoch(
+                "explainable",
+                epoch,
+                loss.item(),
+                val_accuracy=(
+                    self.history.phase1_val_accuracy[-1]
+                    if self.history.phase1_val_accuracy
+                    else None
+                ),
+                feature_mask_sparsity=float(np.mean(feature_mask.data < 0.5)),
+                structure_mask_sparsity=float(np.mean(structure_mask.data < 0.5)),
+            )
+        if epoch in snapshot_set:
+            self.history.mask_snapshots[epoch] = (
+                feature_mask.data.copy(),
+                structure_mask.data.copy(),
+            )
+        if callback is not None:
+            callback(epoch, loss.item())
+        return loss.item()
 
     def _freeze_masks(self) -> None:
         """Extract the trained masks once; phase 2 treats them as constants."""
@@ -468,109 +563,257 @@ class SESTrainer:
         epochs: Optional[int] = None,
         callback: Optional[Callable[[int, float], None]] = None,
     ) -> TrainingHistory:
-        """Refine the encoder with the triplet objective (Algorithm 2, 8–13)."""
+        """Refine the encoder with the triplet objective (Algorithm 2, 8–13).
+
+        Resumable: continues from ``self._completed["predictive"]`` just like
+        :meth:`train_explainable`.
+        """
         cfg = self.config
         epochs = epochs if epochs is not None else cfg.predictive_epochs
         if self.pairs is None and cfg.use_triplet:
             self.build_pairs()
-        optimizer = Adam(
-            self.model.encoder_parameters(),
-            lr=cfg.learning_rate * cfg.predictive_lr_scale,
-            weight_decay=cfg.weight_decay,
-        )
-        graph, model = self.graph, self.model
         features, edge_weight = self._phase2_inputs()
-        if cfg.use_triplet:
-            anchors, pos_index, pos_segment, neg_index, neg_segment = pooled_pair_indices(
-                self.pairs, self.num_nodes
-            )
-            num_anchors = len(anchors)
+        # Frozen masks and pairs are constants within the phase, so the
+        # pooled index arrays stay valid across rollbacks and resumes.
+        pooled = (
+            pooled_pair_indices(self.pairs, self.num_nodes) if cfg.use_triplet else None
+        )
         with self.recorder.phase("predictive", self.stopwatch), \
                 self.monitors.watch("predictive"):
-            for epoch in range(epochs):
-                model.train()
-                optimizer.zero_grad()
-                self.monitors.set_context(phase="predictive", epoch=epoch)
-                anchor = positive = negative = None
-                with self.recorder.span(f"epoch{epoch}"):
-                    with self.recorder.span("forward"):
-                        _, representation, logits = model.encoder.forward_full(
-                            features, self.edge_index, self.num_nodes,
-                            edge_weight=edge_weight,
-                        )
-                        xent = None
-                        if cfg.use_xent_in_phase2:
-                            xent = F.cross_entropy(
-                                logits, graph.labels, mask=graph.train_mask
-                            )
-                        triplet = None
-                        if cfg.use_triplet and num_anchors > 0:
-                            # Eq. 11: the triplet acts on the encoder's output
-                            # representation (128-d in the paper), not on logits.
-                            pool = (
-                                segment_mean
-                                if cfg.triplet_pooling == "mean"
-                                else segment_sum
-                            )
-                            positive = pool(
-                                gather_rows(representation, pos_index),
-                                pos_segment, num_anchors,
-                            )
-                            negative = pool(
-                                gather_rows(representation, neg_index),
-                                neg_segment, num_anchors,
-                            )
-                            anchor = gather_rows(representation, anchors)
-                            triplet = F.triplet_margin_loss(
-                                anchor, positive, negative, margin=cfg.margin
-                            )
-                        loss = predictive_learning_loss(triplet, xent, cfg.beta)
-                    with self.recorder.span("backward"):
-                        loss.backward()
-                    optimizer.step()
-                if self.monitors:
-                    self.monitors.after_backward(
-                        "predictive", epoch, self.model.encoder.named_parameters()
-                    )
-                    self.monitors.observe_activations(
-                        "predictive", epoch,
-                        representation=representation.data, logits=logits.data,
-                    )
-                    if anchor is not None:
-                        self.monitors.observe_triplet(
-                            "predictive", epoch,
-                            np.linalg.norm(anchor.data - positive.data, axis=1),
-                            np.linalg.norm(anchor.data - negative.data, axis=1),
-                            cfg.margin,
-                        )
-
-                self.history.phase2_loss.append(loss.item())
-                if graph.val_mask is not None and graph.val_mask.any():
-                    masked_val = self._evaluate_masked(graph.val_mask)
-                    plain_val = self._evaluate_plain(graph.val_mask)
-                    self.history.phase2_val_accuracy.append(max(masked_val, plain_val))
-                    if cfg.keep_best and max(masked_val, plain_val) > self._best_val:
-                        self._best_val = max(masked_val, plain_val)
-                        self._best_state = model.state_dict()
-                        self._best_readout = (
-                            "masked" if masked_val >= plain_val else "plain"
-                        )
-                if self.recorder.enabled:
-                    self.recorder.epoch(
-                        "predictive",
-                        epoch,
-                        loss.item(),
-                        val_accuracy=(
-                            self.history.phase2_val_accuracy[-1]
-                            if self.history.phase2_val_accuracy
-                            else None
-                        ),
-                    )
-                if callback is not None:
-                    callback(epoch, loss.item())
+            if self.recovery is not None:
+                self.recovery.ensure_baseline(self)
+            while self._completed["predictive"] < epochs:
+                epoch = self._completed["predictive"]
+                self.faults.check_crash("predictive", epoch)
+                status = self._run_epoch_guarded(
+                    "predictive",
+                    epoch,
+                    lambda: self._predictive_epoch(
+                        epoch, features, edge_weight, pooled, callback
+                    ),
+                )
+                if status == "degrade":
+                    break
+                if status == "ok":
+                    self._completed["predictive"] = epoch + 1
+                    self._after_epoch("predictive")
         if cfg.keep_best and self._best_state is not None:
-            model.load_state_dict(self._best_state)
+            self.model.load_state_dict(self._best_state)
         return self.history
+
+    def _predictive_epoch(
+        self,
+        epoch: int,
+        features: Tensor,
+        edge_weight: Optional[Tensor],
+        pooled,
+        callback: Optional[Callable[[int, float], None]],
+    ) -> float:
+        """One predictive-learning epoch; returns the epoch loss."""
+        cfg = self.config
+        graph, model = self.graph, self.model
+        optimizer = self._optimizer("predictive")
+        model.train()
+        optimizer.zero_grad()
+        self.monitors.set_context(phase="predictive", epoch=epoch)
+        anchor = positive = negative = None
+        with self.recorder.span(f"epoch{epoch}"):
+            with self.recorder.span("forward"):
+                _, representation, logits = model.encoder.forward_full(
+                    features, self.edge_index, self.num_nodes,
+                    edge_weight=edge_weight,
+                )
+                xent = None
+                if cfg.use_xent_in_phase2:
+                    xent = F.cross_entropy(
+                        logits, graph.labels, mask=graph.train_mask
+                    )
+                triplet = None
+                if pooled is not None and len(pooled[0]) > 0:
+                    anchors, pos_index, pos_segment, neg_index, neg_segment = pooled
+                    num_anchors = len(anchors)
+                    # Eq. 11: the triplet acts on the encoder's output
+                    # representation (128-d in the paper), not on logits.
+                    pool = (
+                        segment_mean
+                        if cfg.triplet_pooling == "mean"
+                        else segment_sum
+                    )
+                    positive = pool(
+                        gather_rows(representation, pos_index),
+                        pos_segment, num_anchors,
+                    )
+                    negative = pool(
+                        gather_rows(representation, neg_index),
+                        neg_segment, num_anchors,
+                    )
+                    anchor = gather_rows(representation, anchors)
+                    triplet = F.triplet_margin_loss(
+                        anchor, positive, negative, margin=cfg.margin
+                    )
+                loss = predictive_learning_loss(triplet, xent, cfg.beta)
+            with self.recorder.span("backward"):
+                loss.backward()
+            optimizer.step()
+        if self.monitors:
+            self.monitors.after_backward(
+                "predictive", epoch, self.model.encoder.named_parameters()
+            )
+            self.monitors.observe_activations(
+                "predictive", epoch,
+                representation=representation.data, logits=logits.data,
+            )
+            if anchor is not None:
+                self.monitors.observe_triplet(
+                    "predictive", epoch,
+                    np.linalg.norm(anchor.data - positive.data, axis=1),
+                    np.linalg.norm(anchor.data - negative.data, axis=1),
+                    cfg.margin,
+                )
+
+        self.history.phase2_loss.append(loss.item())
+        if graph.val_mask is not None and graph.val_mask.any():
+            masked_val = self._evaluate_masked(graph.val_mask)
+            plain_val = self._evaluate_plain(graph.val_mask)
+            self.history.phase2_val_accuracy.append(max(masked_val, plain_val))
+            if cfg.keep_best and max(masked_val, plain_val) > self._best_val:
+                self._best_val = max(masked_val, plain_val)
+                self._best_state = model.state_dict()
+                self._best_readout = (
+                    "masked" if masked_val >= plain_val else "plain"
+                )
+        if self.recorder.enabled:
+            self.recorder.epoch(
+                "predictive",
+                epoch,
+                loss.item(),
+                val_accuracy=(
+                    self.history.phase2_val_accuracy[-1]
+                    if self.history.phase2_val_accuracy
+                    else None
+                ),
+            )
+        if callback is not None:
+            callback(epoch, loss.item())
+        return loss.item()
+
+    # ------------------------------------------------------------------
+    # Fault tolerance: guarded epochs, snapshots, resume
+    # ------------------------------------------------------------------
+    def _run_epoch_guarded(self, phase: str, epoch: int, body: Callable[[], float]) -> str:
+        """Run one epoch under fault injection and the recovery policy.
+
+        Returns ``"ok"`` (epoch completed), ``"retry"`` (rolled back to the
+        last good snapshot with the learning rate backed off — run the same
+        epoch again) or ``"degrade"`` (rolled back — end the phase here).
+        Without a recovery manager, anomalies keep the historical
+        fail-as-it-lies behaviour.
+        """
+        watchdog_before = self._watchdog_events()
+        try:
+            with self.faults.nan_injection(phase, epoch):
+                loss_value = float(body())
+        except NumericalAnomalyError as error:
+            if self.recovery is None:
+                raise
+            return self.recovery.on_anomaly(self, phase, epoch, f"watchdog raised: {error}")
+        anomaly = None
+        if not np.isfinite(loss_value):
+            anomaly = f"non-finite loss ({loss_value!r})"
+        elif self._watchdog_events() > watchdog_before:
+            anomaly = "NaN watchdog recorded a numerical_event"
+        elif (
+            self.recovery is not None
+            and self.recovery.policy.check_params
+            and not self._params_finite()
+        ):
+            anomaly = "non-finite parameter after optimizer step"
+        if anomaly is None or self.recovery is None:
+            return "ok"
+        return self.recovery.on_anomaly(self, phase, epoch, anomaly)
+
+    def _watchdog_events(self) -> int:
+        watchdog = getattr(self.monitors, "watchdog", None)
+        if watchdog is None:
+            return 0
+        return len(watchdog.anomalies) + watchdog.suppressed
+
+    def _params_finite(self) -> bool:
+        return all(np.all(np.isfinite(p.data)) for p in self.model.parameters())
+
+    def _after_epoch(self, phase: str) -> None:
+        """Epoch-boundary bookkeeping: recovery snapshot + disk checkpoint."""
+        if self.recovery is not None:
+            self.recovery.note_good(self)
+        if (
+            self._checkpoint_every > 0
+            and self._checkpoint_dir is not None
+            and self._completed[phase] % self._checkpoint_every == 0
+        ):
+            self.save_snapshot_to(self._checkpoint_dir, phase=phase)
+
+    def snapshot(self) -> TrainingSnapshot:
+        """Capture the full mutable training state (see :mod:`repro.resilience`)."""
+        return capture_training_snapshot(self)
+
+    def restore(self, snapshot: TrainingSnapshot, strict_config: bool = True) -> None:
+        """Load a snapshot captured on an identically-configured trainer."""
+        restore_training_snapshot(self, snapshot, strict_config=strict_config)
+
+    def resume(
+        self,
+        source: Union[str, Path, TrainingSnapshot],
+        strict_config: bool = True,
+    ) -> TrainingSnapshot:
+        """Resume from a snapshot object, a ``.npz`` file, or a directory.
+
+        A directory resolves through
+        :func:`~repro.resilience.find_latest_snapshot`: the newest *valid*
+        snapshot wins, so a checkpoint corrupted by a mid-write crash falls
+        back to its predecessor.
+        """
+        if isinstance(source, TrainingSnapshot):
+            snapshot = source
+        else:
+            path = Path(source)
+            if path.is_dir():
+                snapshot, _ = find_latest_snapshot(path)
+            else:
+                snapshot = load_snapshot(path)
+        self.restore(snapshot, strict_config=strict_config)
+        return snapshot
+
+    def save_snapshot_to(self, directory: Union[str, Path], phase: str = "manual") -> Path:
+        """Write a checkpoint into ``directory`` and update its LATEST pointer."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        name = (
+            f"snap-{phase}-{self._completed.get(phase, 0):04d}.npz"
+            if phase in self._completed
+            else f"snap-{phase}.npz"
+        )
+        path = save_snapshot(self.snapshot(), directory / name)
+        write_latest_pointer(directory, path.name)
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "snapshot_event",
+                phase=phase,
+                completed=dict(self._completed),
+                path=str(path),
+            )
+        self._prune_checkpoints(directory)
+        return path
+
+    def _prune_checkpoints(self, directory: Path) -> None:
+        keep = self._checkpoint_keep
+        if keep <= 0:
+            return
+        snapshots = sorted(
+            directory.glob("snap-*.npz"),
+            key=lambda p: (os.path.getmtime(p), p.name),
+        )
+        for stale in snapshots[:-keep]:
+            stale.unlink()
 
     # ------------------------------------------------------------------
     # Evaluation & outputs
@@ -666,10 +909,35 @@ class SESTrainer:
         snapshot_epochs: Tuple[int, ...] = (),
         explainable_epochs: Optional[int] = None,
         predictive_epochs: Optional[int] = None,
+        resume_from: Optional[Union[str, Path, TrainingSnapshot]] = None,
+        checkpoint_every: int = 0,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        checkpoint_keep: int = 3,
     ) -> SESResult:
-        """Run the full Algorithm 2 pipeline and collect results."""
+        """Run the full Algorithm 2 pipeline and collect results.
+
+        ``resume_from`` accepts a snapshot, a ``.npz`` path, or a checkpoint
+        directory (newest valid snapshot wins); the resumed run reproduces
+        the uninterrupted one bit-for-bit (docs/ROBUSTNESS.md).
+        ``checkpoint_every=N`` writes a full-state snapshot every N completed
+        epochs into ``checkpoint_dir`` (keeping the newest
+        ``checkpoint_keep``; ``0`` keeps all).
+        """
+        if checkpoint_every > 0:
+            if checkpoint_dir is None:
+                checkpoint_dir = Path("results") / "checkpoints" / (
+                    f"{self.graph.name}-{self.config.backbone}-seed{self.config.seed}"
+                )
+            self._checkpoint_every = int(checkpoint_every)
+            self._checkpoint_dir = Path(checkpoint_dir)
+            self._checkpoint_keep = int(checkpoint_keep)
+        if resume_from is not None:
+            self.resume(resume_from)
         self.train_explainable(epochs=explainable_epochs, snapshot_epochs=snapshot_epochs)
-        self.build_pairs()
+        if self.pairs is None:
+            # Resume restores the pair sets; rebuilding them would consume
+            # RNG draws the uninterrupted run never made.
+            self.build_pairs()
         self.train_predictive(epochs=predictive_epochs)
         logits = self.final_logits()
         predictions = logits_to_predictions(logits)

@@ -10,6 +10,15 @@ pickle (safe to load from untrusted sources).
   :class:`~repro.tensor.Module` parameter state.
 * :func:`save_explanations` / :func:`load_explanations` — SES
   :class:`~repro.core.explanations.Explanations`.
+
+Durability (docs/ROBUSTNESS.md): every save streams to a ``.tmp`` sibling
+and is fsynced before an atomic rename — the same pattern the telemetry
+recorder uses — so a kill mid-save never leaves a corrupt file at the final
+path.  Every load converts the opaque ``zipfile.BadZipFile`` / ``KeyError``
+that numpy raises on truncated or damaged archives into a
+:class:`~repro.resilience.storage.CheckpointError` naming the path and the
+failure.  Full *training-state* snapshots (optimizer moments, RNG streams,
+epoch counters) live one level up in :mod:`repro.resilience.snapshot`.
 """
 
 from __future__ import annotations
@@ -22,13 +31,28 @@ import scipy.sparse as sp
 
 from .core.explanations import Explanations
 from .graph import Graph
+from .resilience.storage import CheckpointError, atomic_savez, open_npz
 from .tensor import Module
 
 PathLike = Union[str, Path]
 
+__all__ = [
+    "CheckpointError",
+    "save_graph",
+    "load_graph",
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_explanations",
+    "load_explanations",
+]
+
 
 def save_graph(graph: Graph, path: PathLike) -> None:
-    """Write a graph (topology, features, labels, splits, ground truth)."""
+    """Write a graph (topology, features, labels, splits, ground truth).
+
+    Crash-safe: the archive is written to a ``.tmp`` sibling, fsynced, then
+    atomically renamed into place.
+    """
     coo = graph.adjacency.tocoo()
     payload = {
         "num_nodes": np.array(graph.num_nodes),
@@ -45,18 +69,26 @@ def save_graph(graph: Graph, path: PathLike) -> None:
         if mask is not None:
             payload[mask_name] = mask
     gt = graph.extra.get("gt_edge_mask")
-    if gt:
-        edges = np.array(sorted(gt), dtype=np.int64)
+    # `is not None`, not truthiness: an explicitly-empty mask ({}) means
+    # "annotated, zero positive edges" and must round-trip as such.
+    if gt is not None:
+        edges = np.array(sorted(gt), dtype=np.int64).reshape(-1, 2)
         payload["gt_edges"] = edges
-        payload["gt_values"] = np.array([gt[tuple(edge)] for edge in edges])
+        payload["gt_values"] = np.array(
+            [gt[tuple(edge)] for edge in edges], dtype=np.float64
+        )
     if "motif_nodes" in graph.extra:
         payload["motif_nodes"] = graph.extra["motif_nodes"]
-    np.savez_compressed(Path(path), **payload)
+    atomic_savez(Path(path), **payload)
 
 
 def load_graph(path: PathLike) -> Graph:
-    """Read a graph written by :func:`save_graph`."""
-    with np.load(Path(path), allow_pickle=False) as archive:
+    """Read a graph written by :func:`save_graph`.
+
+    Raises :class:`CheckpointError` on a missing, truncated or corrupted
+    archive instead of surfacing ``zipfile.BadZipFile`` / ``KeyError``.
+    """
+    with open_npz(Path(path), what="graph archive") as archive:
         num_nodes = int(archive["num_nodes"])
         adjacency = sp.coo_matrix(
             (archive["edge_data"], (archive["edge_row"], archive["edge_col"])),
@@ -82,23 +114,33 @@ def load_graph(path: PathLike) -> Graph:
 
 
 def save_checkpoint(module: Module, path: PathLike) -> None:
-    """Write a module's parameters (dotted names become archive keys)."""
+    """Write a module's parameters (dotted names become archive keys).
+
+    Crash-safe (tmp → fsync → atomic rename).  For *resumable* training
+    state — optimizer moments, RNG streams, epoch counters — use
+    :func:`repro.resilience.save_snapshot` instead.
+    """
     state = module.state_dict()
-    np.savez_compressed(Path(path), **{k.replace(".", "/"): v for k, v in state.items()})
+    atomic_savez(Path(path), **{k.replace(".", "/"): v for k, v in state.items()})
 
 
 def load_checkpoint(module: Module, path: PathLike) -> Module:
-    """Load parameters written by :func:`save_checkpoint` into ``module``."""
-    with np.load(Path(path), allow_pickle=False) as archive:
+    """Load parameters written by :func:`save_checkpoint` into ``module``.
+
+    Raises :class:`CheckpointError` on a missing, truncated or corrupted
+    archive; parameter-name/shape mismatches keep their specific
+    ``KeyError`` / ``ValueError`` from :meth:`Module.load_state_dict`.
+    """
+    with open_npz(Path(path), what="model checkpoint") as archive:
         state = {key.replace("/", "."): archive[key] for key in archive.files}
     module.load_state_dict(state)
     return module
 
 
 def save_explanations(explanations: Explanations, path: PathLike) -> None:
-    """Write an :class:`Explanations` bundle."""
+    """Write an :class:`Explanations` bundle (crash-safe)."""
     structure = explanations.structure_mask.tocoo()
-    np.savez_compressed(
+    atomic_savez(
         Path(path),
         feature_mask=explanations.feature_mask,
         feature_explanation=explanations.feature_explanation,
@@ -111,8 +153,11 @@ def save_explanations(explanations: Explanations, path: PathLike) -> None:
 
 
 def load_explanations(path: PathLike) -> Explanations:
-    """Read an explanations bundle written by :func:`save_explanations`."""
-    with np.load(Path(path), allow_pickle=False) as archive:
+    """Read an explanations bundle written by :func:`save_explanations`.
+
+    Raises :class:`CheckpointError` on damaged archives.
+    """
+    with open_npz(Path(path), what="explanations archive") as archive:
         num_nodes = int(archive["num_nodes"])
         structure = sp.coo_matrix(
             (

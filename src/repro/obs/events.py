@@ -47,6 +47,8 @@ EVENT_TYPES = (
     "mask_health",
     "triplet_margin",
     "numerical_event",
+    "recovery_event",
+    "snapshot_event",
     "run_end",
 )
 """Every event type the recorder may emit (see docs/OBSERVABILITY.md)."""

@@ -131,6 +131,18 @@ class Welford:
             return 0.0
         return max(abs(self.min), abs(self.max))
 
+    def state_dict(self) -> Dict[str, float]:
+        """Full accumulator state (JSON-safe), for checkpoint/resume."""
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def load_state_dict(self, state: Mapping[str, float]) -> "Welford":
+        """Restore a state captured by :meth:`state_dict`."""
+        for slot in self.__slots__:
+            setattr(self, slot, state[slot])
+        self.count = int(self.count)
+        self._zeros = int(self._zeros)
+        return self
+
     def summary(self) -> Dict[str, float]:
         """JSON-ready statistics dict (the monitor event payload core)."""
         return {
@@ -441,6 +453,19 @@ class NaNWatchdog:
             raise NumericalAnomalyError(op, direction, kind,
                                         phase=record["phase"], epoch=record["epoch"])
 
+    def state_dict(self) -> Dict[str, Any]:
+        """Anomaly log + context (JSON-safe), for checkpoint/resume."""
+        return {
+            "context": dict(self.context),
+            "anomalies": [dict(a) for a in self.anomalies],
+            "suppressed": self.suppressed,
+        }
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        self.context = dict(state.get("context", {"phase": None, "epoch": None}))
+        self.anomalies = [dict(a) for a in state.get("anomalies", [])]
+        self.suppressed = int(state.get("suppressed", 0))
+
 
 # ----------------------------------------------------------------------
 # Composition
@@ -517,6 +542,23 @@ class MonitorSet:
             return
         for monitor in self.monitors:
             monitor.observe_triplet(self.recorder, phase, epoch, pos_dist, neg_dist, margin)
+
+    # -- checkpoint/resume ---------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Stateful-accumulator snapshot (currently: the NaN watchdog's).
+
+        The statistical monitors are per-epoch emitters with no carried
+        state; the watchdog's anomaly log is what a resumed run needs so a
+        rollback does not double-count or forget prior anomalies.
+        """
+        state: Dict[str, Any] = {}
+        if self.watchdog is not None:
+            state["watchdog"] = self.watchdog.state_dict()
+        return state
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        if self.watchdog is not None and "watchdog" in state:
+            self.watchdog.load_state_dict(state["watchdog"])
 
 
 def monitors_enabled() -> bool:

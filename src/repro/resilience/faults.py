@@ -1,0 +1,195 @@
+"""Fault injection: simulated crashes, NaN poisoning, checkpoint corruption.
+
+A recovery path that is never exercised is a recovery path that does not
+work.  This module gives the test-suite (and anyone debugging resilience in
+the field) deterministic ways to break training on purpose:
+
+* :class:`FaultPlan` — a parsed schedule of :class:`FaultSpec`\\ s, built
+  from the ``REPRO_FAULTS`` environment variable or a spec string.  The
+  grammar is ``kind@phase:epoch[:op]`` with specs comma-separated:
+
+  - ``crash@explainable:5`` — raise :class:`SimulatedCrash` at the start of
+    explainable-training epoch 5 (the process-kill stand-in; nothing after
+    the last completed epoch survives);
+  - ``nan@predictive:3`` — poison the first op output of predictive epoch 3
+    with a NaN (exercises the watchdog → recovery-policy path);
+  - ``nan@explainable:2:relu`` — poison only ops whose name contains
+    ``relu``.
+
+* :func:`truncate_file` / :func:`corrupt_file` — byte-level checkpoint
+  damage for the corruption-detection tests.
+
+Each spec fires at most once per process, so a run that recovers from an
+injected fault is not immediately re-injured by the same spec.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..tensor.tensor import Tensor
+
+FAULT_KINDS = ("crash", "nan")
+PHASES = ("explainable", "predictive", "any")
+
+
+class SimulatedCrash(RuntimeError):
+    """Deterministic stand-in for a mid-training process kill."""
+
+    def __init__(self, phase: str, epoch: int) -> None:
+        self.phase = phase
+        self.epoch = epoch
+        super().__init__(f"simulated crash at phase {phase!r}, epoch {epoch}")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: what to break, where, and (for NaNs) which op."""
+
+    kind: str
+    phase: str
+    epoch: int
+    op: Optional[str] = None
+
+    def matches(self, phase: str, epoch: int) -> bool:
+        return (self.phase in ("any", phase)) and self.epoch == epoch
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse ``kind@phase:epoch[:op]`` (see module docstring)."""
+        text = text.strip()
+        if "@" not in text:
+            raise ValueError(f"bad fault spec {text!r}: expected kind@phase:epoch[:op]")
+        kind, _, where = text.partition("@")
+        kind = kind.strip().lower()
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"bad fault kind {kind!r}; expected one of {FAULT_KINDS}")
+        parts = [p.strip() for p in where.split(":")]
+        if len(parts) < 2 or len(parts) > 3:
+            raise ValueError(f"bad fault spec {text!r}: expected kind@phase:epoch[:op]")
+        phase = parts[0].lower()
+        if phase not in PHASES:
+            raise ValueError(f"bad fault phase {phase!r}; expected one of {PHASES}")
+        try:
+            epoch = int(parts[1])
+        except ValueError:
+            raise ValueError(f"bad fault epoch {parts[1]!r} in spec {text!r}") from None
+        op = parts[2] if len(parts) == 3 else None
+        if kind == "crash" and op is not None:
+            raise ValueError(f"crash faults take no op field (spec {text!r})")
+        return cls(kind=kind, phase=phase, epoch=epoch, op=op)
+
+
+class FaultPlan:
+    """A one-shot-per-spec schedule of injected faults.
+
+    Falsy when empty, so the trainer's per-epoch hooks cost a single branch
+    in the (overwhelmingly common) no-faults case.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec] = ()) -> None:
+        self.specs: List[FaultSpec] = list(specs)
+        self._fired: set = set()
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.specs!r})"
+
+    @classmethod
+    def parse(cls, text: Optional[str]) -> "FaultPlan":
+        """Build a plan from a comma-separated spec string (None/'' = empty)."""
+        if not text or not text.strip():
+            return cls()
+        return cls([FaultSpec.parse(part) for part in text.split(",") if part.strip()])
+
+    @classmethod
+    def from_env(cls, env: Optional[dict] = None) -> "FaultPlan":
+        """Build a plan from ``REPRO_FAULTS`` (empty plan when unset)."""
+        return cls.parse((env if env is not None else os.environ).get("REPRO_FAULTS"))
+
+    # ------------------------------------------------------------------
+    def _take(self, kind: str, phase: str, epoch: int) -> Optional[FaultSpec]:
+        for index, spec in enumerate(self.specs):
+            key = (index,)
+            if key in self._fired or spec.kind != kind:
+                continue
+            if spec.matches(phase, epoch):
+                self._fired.add(key)
+                return spec
+        return None
+
+    def check_crash(self, phase: str, epoch: int) -> None:
+        """Raise :class:`SimulatedCrash` if a crash fault is due here."""
+        if self and self._take("crash", phase, epoch) is not None:
+            raise SimulatedCrash(phase, epoch)
+
+    @contextmanager
+    def nan_injection(self, phase: str, epoch: int) -> Iterator[None]:
+        """Poison one op output with NaN inside the block, if a fault is due.
+
+        Wraps ``Tensor._make`` (the same choke point the profiler and the
+        NaN watchdog use) so the first op whose name matches the spec — or
+        simply the first op, when no op is named — gets ``NaN`` written into
+        its output.  The poison then propagates through the graph exactly
+        like an organic blow-up would, which is the point: downstream, the
+        watchdog and the recovery policy cannot tell the difference.
+        """
+        spec = self._take("nan", phase, epoch) if self else None
+        if spec is None:
+            yield
+            return
+        original = Tensor.__dict__["_make"]
+        make = original.__func__ if isinstance(original, staticmethod) else original
+        state = {"armed": True}
+        needle = spec.op
+
+        def poisoned_make(data, parents, backward):
+            out = make(data, parents, backward)
+            if state["armed"] and (needle is None or needle in backward.__qualname__):
+                if out.data.size:
+                    out.data.flat[0] = np.nan
+                    state["armed"] = False
+            return out
+
+        Tensor._make = staticmethod(poisoned_make)
+        try:
+            yield
+        finally:
+            Tensor._make = original
+
+
+# ----------------------------------------------------------------------
+# Byte-level checkpoint damage (for corruption-detection tests)
+# ----------------------------------------------------------------------
+def truncate_file(path: Union[str, Path], keep_fraction: float = 0.5) -> Path:
+    """Truncate a file to a fraction of its size (a mid-write kill stand-in)."""
+    path = Path(path)
+    size = path.stat().st_size
+    keep = max(1, int(size * keep_fraction))
+    with open(path, "rb+") as handle:
+        handle.truncate(keep)
+    return path
+
+
+def corrupt_file(path: Union[str, Path], offset: Optional[int] = None) -> Tuple[Path, int]:
+    """Flip one byte (default: mid-file) — well-formed zip, damaged payload."""
+    path = Path(path)
+    size = path.stat().st_size
+    if size == 0:
+        raise ValueError(f"cannot corrupt empty file {path}")
+    position = size // 2 if offset is None else offset
+    position = min(max(position, 0), size - 1)
+    with open(path, "rb+") as handle:
+        handle.seek(position)
+        byte = handle.read(1)
+        handle.seek(position)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+    return path, position

@@ -1,0 +1,133 @@
+"""``python -m repro run-ses`` — one resumable SES training run.
+
+The fault-tolerant front door to :class:`~repro.core.ses.SESTrainer`
+(docs/ROBUSTNESS.md): unlike the table/figure experiment harnesses, this
+command trains a single configuration and exposes the checkpoint/resume
+runtime directly:
+
+* ``--checkpoint-every N`` writes a full-state snapshot every N completed
+  epochs (atomic, checksummed) into ``--checkpoint-dir``;
+* ``--resume [PATH]`` continues an interrupted run — from an explicit
+  snapshot file, a checkpoint directory, or (with no argument) the default
+  checkpoint directory for this dataset/backbone/seed.  The resumed run
+  reproduces the uninterrupted one bit-for-bit;
+* ``--recover`` enables the NaN-recovery policy (rollback + LR backoff +
+  bounded retries; ``--recover raise`` aborts instead of degrading);
+* ``--faults SPEC`` injects faults for harness testing, e.g.
+  ``crash@explainable:30`` or ``nan@predictive:2:matmul`` (grammar in
+  docs/ROBUSTNESS.md; also honoured from ``REPRO_FAULTS``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+
+def default_checkpoint_dir(dataset: str, backbone: str, seed: int) -> Path:
+    """Where ``--checkpoint-every`` writes when no directory is given."""
+    return Path("results") / "checkpoints" / f"{dataset}-{backbone}-seed{seed}"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro run-ses",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--dataset", default="cora")
+    parser.add_argument("--backbone", default="gcn")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="dataset size multiplier (0.15 = smoke-test size)")
+    parser.add_argument("--explainable-epochs", type=int, default=None)
+    parser.add_argument("--predictive-epochs", type=int, default=None)
+    parser.add_argument("--hidden", type=int, default=None,
+                        help="encoder hidden width (default: fast_config's)")
+    parser.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                        help="write a full-state snapshot every N epochs")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="snapshot directory (default: results/checkpoints/<run>)")
+    parser.add_argument("--checkpoint-keep", type=int, default=3,
+                        help="newest snapshots kept on disk (0 = keep all)")
+    parser.add_argument("--resume", nargs="?", const="auto", default=None,
+                        metavar="PATH",
+                        help="resume from a snapshot file or directory; bare "
+                             "--resume uses the default checkpoint directory")
+    parser.add_argument("--recover", nargs="?", const="1", default=None,
+                        choices=["1", "raise"],
+                        help="enable NaN rollback/backoff recovery "
+                             "(`raise` aborts on exhaustion instead of degrading)")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="fault-injection plan, e.g. crash@explainable:30 "
+                             "(overrides REPRO_FAULTS)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="write a JSONL run record under results/runs/")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.telemetry:
+        os.environ["REPRO_TELEMETRY"] = "1"
+
+    # Imports after arg parsing so `--help` stays instant.
+    from .core import SESTrainer, fast_config
+    from .datasets import load_dataset
+    from .graph import classification_split
+    from .resilience import FaultPlan, RecoveryPolicy
+
+    overrides = {"seed": args.seed}
+    if args.explainable_epochs is not None:
+        overrides["explainable_epochs"] = args.explainable_epochs
+    if args.predictive_epochs is not None:
+        overrides["predictive_epochs"] = args.predictive_epochs
+    if args.hidden is not None:
+        overrides["hidden_features"] = args.hidden
+        overrides["mask_mlp_hidden"] = args.hidden
+    config = fast_config(args.backbone, **overrides)
+
+    graph = classification_split(
+        load_dataset(args.dataset, scale=args.scale, seed=args.seed), seed=args.seed
+    )
+
+    recovery = None
+    if args.recover is not None:
+        recovery = RecoveryPolicy(
+            on_exhaustion="raise" if args.recover == "raise" else "degrade"
+        )
+    faults = FaultPlan.parse(args.faults) if args.faults is not None else None
+
+    checkpoint_dir = args.checkpoint_dir
+    if checkpoint_dir is None and (args.checkpoint_every > 0 or args.resume == "auto"):
+        checkpoint_dir = default_checkpoint_dir(args.dataset, args.backbone, args.seed)
+    resume_from = None
+    if args.resume is not None:
+        resume_from = Path(checkpoint_dir if args.resume == "auto" else args.resume)
+
+    trainer = SESTrainer(graph, config, recovery=recovery, faults=faults)
+    result = trainer.fit(
+        resume_from=resume_from,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_keep=args.checkpoint_keep,
+    )
+
+    completed = trainer._completed
+    print(f"dataset={graph.name} backbone={config.backbone} seed={config.seed}")
+    print(f"epochs: explainable={completed['explainable']} "
+          f"predictive={completed['predictive']}")
+    if trainer.recovery is not None and trainer.recovery.total_rollbacks:
+        print(f"recovery: {trainer.recovery.total_rollbacks} rollback(s), "
+              f"degraded={sorted(trainer.recovery.degraded_phases) or 'none'}")
+    print(f"test accuracy: {result.test_accuracy:.4f}")
+    print(f"val accuracy:  {result.val_accuracy:.4f}")
+    print(f"readout: {trainer.active_readout()}  "
+          f"training time: {result.training_time:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

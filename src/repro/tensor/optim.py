@@ -6,7 +6,7 @@ The paper trains every model with Adam at learning rate ``3e-3``
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -28,6 +28,34 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    def state_dict(self) -> Dict:
+        """Copy of the optimizer's internal state (hyper-params + moments).
+
+        Moment arrays are keyed by position in the parameter list, which is
+        deterministic for a given model construction order — the contract
+        checkpoint/resume relies on.
+        """
+        raise NotImplementedError
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore a state produced by :meth:`state_dict` (shapes must match)."""
+        raise NotImplementedError
+
+    def _check_slots(self, state: Dict, key: str) -> List[np.ndarray]:
+        arrays = state[key]
+        if len(arrays) != len(self.params):
+            raise ValueError(
+                f"optimizer state has {len(arrays)} {key!r} slots for "
+                f"{len(self.params)} parameters"
+            )
+        for i, (array, param) in enumerate(zip(arrays, self.params)):
+            if np.shape(array) != param.data.shape:
+                raise ValueError(
+                    f"{key}[{i}] shape {np.shape(array)} != parameter shape "
+                    f"{param.data.shape}"
+                )
+        return arrays
 
 
 class SGD(Optimizer):
@@ -58,6 +86,22 @@ class SGD(Optimizer):
                 velocity += grad
                 grad = velocity
             param.data -= self.lr * grad
+
+    def state_dict(self) -> Dict:
+        return {
+            "lr": self.lr,
+            "momentum": self.momentum,
+            "weight_decay": self.weight_decay,
+            "velocity": [v.copy() for v in self._velocity],
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        velocity = self._check_slots(state, "velocity")
+        self.lr = float(state["lr"])
+        self.momentum = float(state["momentum"])
+        self.weight_decay = float(state["weight_decay"])
+        for slot, array in zip(self._velocity, velocity):
+            slot[...] = array
 
 
 class Adam(Optimizer):
@@ -97,3 +141,29 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict:
+        return {
+            "lr": self.lr,
+            "beta1": self.beta1,
+            "beta2": self.beta2,
+            "eps": self.eps,
+            "weight_decay": self.weight_decay,
+            "step_count": self._step_count,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        m_slots = self._check_slots(state, "m")
+        v_slots = self._check_slots(state, "v")
+        self.lr = float(state["lr"])
+        self.beta1 = float(state["beta1"])
+        self.beta2 = float(state["beta2"])
+        self.eps = float(state["eps"])
+        self.weight_decay = float(state["weight_decay"])
+        self._step_count = int(state["step_count"])
+        for slot, array in zip(self._m, m_slots):
+            slot[...] = array
+        for slot, array in zip(self._v, v_slots):
+            slot[...] = array

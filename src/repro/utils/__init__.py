@@ -1,13 +1,15 @@
 """Shared utilities: seeding, timing, logging, validation."""
 
 from .logging import format_table, get_logger
-from .seed import make_rng, split_rng
+from .seed import capture_rng_state, make_rng, restore_rng_state, split_rng
 from .timing import Stopwatch, format_duration, timed
 from .validation import check_labels, check_positive, check_positive_int, check_probability
 
 __all__ = [
     "make_rng",
     "split_rng",
+    "capture_rng_state",
+    "restore_rng_state",
     "Stopwatch",
     "timed",
     "format_duration",

@@ -141,3 +141,107 @@ class TestNumericalStability:
         result = train_node_classifier(graph, "gat", hidden=8, epochs=10,
                                        heads=2, seed=0)
         assert np.isfinite(result.logits).all()
+
+
+class TestCheckpointDurability:
+    """Satellite coverage for docs/ROBUSTNESS.md: crash-safe io + resume."""
+
+    def _config(self):
+        return fast_config("gcn", explainable_epochs=4, predictive_epochs=2, seed=0)
+
+    def test_truncated_graph_archive_raises_checkpoint_error(self, small_cora, tmp_path):
+        from repro import io
+        from repro.resilience import CheckpointError, truncate_file
+
+        path = tmp_path / "graph.npz"
+        io.save_graph(small_cora, path)
+        truncate_file(path, keep_fraction=0.5)
+        with pytest.raises(CheckpointError, match="graph.npz"):
+            io.load_graph(path)
+
+    def test_missing_checkpoint_raises_checkpoint_error(self, tmp_path):
+        from repro import io
+        from repro.resilience import CheckpointError
+
+        encoder = GraphEncoder(3, 4, 2, dropout=0.0, rng=np.random.default_rng(0))
+        with pytest.raises(CheckpointError, match="nowhere.npz"):
+            io.load_checkpoint(encoder, tmp_path / "nowhere.npz")
+
+    def test_corrupted_model_checkpoint_raises_checkpoint_error(self, tmp_path):
+        from repro import io
+        from repro.resilience import CheckpointError, corrupt_file
+
+        encoder = GraphEncoder(3, 4, 2, dropout=0.0, rng=np.random.default_rng(0))
+        path = tmp_path / "model.npz"
+        io.save_checkpoint(encoder, path)
+        corrupt_file(path)
+        with pytest.raises(CheckpointError):
+            io.load_checkpoint(encoder, path)
+
+    def test_save_leaves_no_tmp_files(self, small_cora, tmp_path):
+        from repro import io
+
+        io.save_graph(small_cora, tmp_path / "graph.npz")
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_empty_gt_edge_mask_round_trips(self, tmp_path):
+        # An explicitly-empty ground-truth mask ({}) means "annotated with
+        # zero positive edges" and must survive the round trip — it used to
+        # be dropped by a truthiness check.
+        from repro import io
+
+        edges = [(i, (i + 1) % 6) for i in range(6)]
+        graph = _make_labelled(edges, [i % 2 for i in range(6)])
+        graph.extra["gt_edge_mask"] = {}
+        path = tmp_path / "graph.npz"
+        io.save_graph(graph, path)
+        loaded = io.load_graph(path)
+        assert loaded.extra.get("gt_edge_mask") == {}
+
+    def test_resume_from_truncated_snapshot_refuses(self, small_cora, tmp_path):
+        from repro.resilience import CheckpointError, truncate_file
+
+        trainer = SESTrainer(small_cora, self._config())
+        trainer.train_explainable(epochs=2)
+        path = trainer.save_snapshot_to(tmp_path)
+        truncate_file(path, keep_fraction=0.4)
+        fresh = SESTrainer(small_cora, self._config())
+        with pytest.raises(CheckpointError):
+            fresh.resume(path)
+
+    def test_resume_with_mismatched_config_refuses_loudly(self, small_cora, tmp_path):
+        from repro.resilience import CheckpointError
+
+        trainer = SESTrainer(small_cora, self._config())
+        trainer.train_explainable(epochs=2)
+        path = trainer.save_snapshot_to(tmp_path)
+        other = SESTrainer(
+            small_cora,
+            fast_config("gcn", explainable_epochs=4, predictive_epochs=2,
+                        seed=0, alpha=0.9),
+        )
+        with pytest.raises(CheckpointError, match="config hash"):
+            other.fit(resume_from=path)
+
+    def test_double_resume_is_idempotent(self, small_cora, tmp_path):
+        baseline = SESTrainer(small_cora, self._config()).fit()
+
+        trainer = SESTrainer(small_cora, self._config())
+        trainer.train_explainable(epochs=2)
+        path = trainer.save_snapshot_to(tmp_path)
+
+        once = SESTrainer(small_cora, self._config()).fit(resume_from=path)
+        twice = SESTrainer(small_cora, self._config()).fit(resume_from=path)
+        assert once.history.phase1_loss == twice.history.phase1_loss
+        assert once.history.phase2_loss == twice.history.phase2_loss
+        np.testing.assert_array_equal(once.logits, twice.logits)
+        # ...and both equal the uninterrupted run.
+        np.testing.assert_array_equal(once.logits, baseline.logits)
+
+    def test_resume_from_completed_snapshot_reproduces_result(self, small_cora, tmp_path):
+        trainer = SESTrainer(small_cora, self._config())
+        baseline = trainer.fit()
+        path = trainer.save_snapshot_to(tmp_path)
+        replay = SESTrainer(small_cora, self._config()).fit(resume_from=path)
+        np.testing.assert_array_equal(replay.logits, baseline.logits)
+        assert replay.test_accuracy == baseline.test_accuracy
