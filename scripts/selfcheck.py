@@ -194,6 +194,46 @@ def main() -> int:
             assert np.array_equal(resumed.logits, baseline.logits), spec
             assert resumed.test_accuracy == baseline.test_accuracy, spec
 
+    def minibatch_parity():
+        from repro.core import SESTrainer, fast_config
+        from repro.datasets import load_dataset
+        from repro.graph import classification_split
+
+        def graph():
+            return classification_split(
+                load_dataset("cora", scale=0.15, seed=0), seed=0
+            )
+
+        config = fast_config("gcn", explainable_epochs=4, predictive_epochs=2, seed=0)
+        full = SESTrainer(graph(), config).fit()
+        reference = graph()
+        covering = SESTrainer(reference, config).fit(batch_size=reference.num_nodes)
+        assert covering.history.phase1_loss == full.history.phase1_loss
+        assert covering.history.phase2_loss == full.history.phase2_loss
+        assert np.array_equal(covering.logits, full.logits)
+        assert covering.test_accuracy == full.test_accuracy
+        sampled = SESTrainer(graph(), config).fit(batch_size=64)
+        assert np.isfinite(sampled.history.phase1_loss).all()
+        assert np.isfinite(sampled.logits).all()
+
+    def run_ses_batch_flag():
+        import contextlib
+        import io as stdlib_io
+
+        from repro.run_ses import main as run_ses_main
+
+        stdout = stdlib_io.StringIO()
+        with contextlib.redirect_stdout(stdout):
+            rc = run_ses_main(
+                [
+                    "--dataset", "cora", "--scale", "0.15", "--seed", "0",
+                    "--explainable-epochs", "2", "--predictive-epochs", "1",
+                    "--batch-size", "64",
+                ]
+            )
+        assert rc == 0
+        assert "minibatch: batch_size=64" in stdout.getvalue()
+
     check("autograd gradients", autograd, results)
     check("csr kernel parity", csr_kernel_parity, results)
     check("dataset generators", datasets, results)
@@ -204,6 +244,8 @@ def main() -> int:
     check("NaN watchdog", nan_watchdog, results)
     check("serialisation round-trip", serialisation, results)
     check("crash-resume parity", crash_resume_parity, results)
+    check("minibatch parity", minibatch_parity, results)
+    check("run-ses --batch-size", run_ses_batch_flag, results)
 
     failed = [name for name, ok, *_ in results if not ok]
     print(f"\n{len(results) - len(failed)}/{len(results)} checks passed")

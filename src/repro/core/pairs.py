@@ -78,21 +78,28 @@ def construct_pairs(
     return PairSets(positive=positive, negative=negative)
 
 
-def pooled_pair_indices(pairs: PairSets, num_nodes: int):
+def pooled_pair_indices(pairs: PairSets, num_nodes: int, anchors=None):
     """Flatten pair sets into index arrays for vectorised pooling.
 
     Returns ``(anchors, pos_index, pos_segment, neg_index, neg_segment)``
     where ``pos_index/pos_segment`` drive a segment-mean of positive
     embeddings per anchor (and likewise for negatives).  Anchors without
     both sets are dropped.
+
+    ``anchors`` optionally restricts the flattening to a subset of candidate
+    anchor nodes (the minibatch path pools one anchor batch at a time);
+    indices stay in the *global* node numbering either way, and the default
+    ``anchors=None`` is exactly ``anchors=range(num_nodes)``.
     """
+    candidates = range(num_nodes) if anchors is None else np.asarray(anchors)
     anchors = []
     pos_index: List[np.ndarray] = []
     pos_segment: List[np.ndarray] = []
     neg_index: List[np.ndarray] = []
     neg_segment: List[np.ndarray] = []
     slot = 0
-    for node in range(num_nodes):
+    for node in candidates:
+        node = int(node)
         pos = pairs.positive.get(node)
         neg = pairs.negative.get(node)
         if pos is None or neg is None or len(pos) == 0 or len(neg) == 0:

@@ -29,7 +29,10 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..graph import (
+    AnchorBatchSampler,
     Graph,
+    extract_phase1_batch,
+    extract_phase2_batch,
     khop_edge_index,
     negative_edge_index,
     sample_negative_sets,
@@ -214,6 +217,12 @@ class SESTrainer:
         # in-memory snapshot for rollback.
         self._completed: Dict[str, int] = {"explainable": 0, "predictive": 0}
         self._optimizers: Dict[str, Adam] = {}
+        # Minibatch mode (docs/PERF.md): a dedicated sampler partitions the
+        # node set into anchor batches; None means full-batch training.  The
+        # batch cache holds extracted subgraphs keyed on anchor content so a
+        # covering batch (batch_size >= N) extracts once, not once per epoch.
+        self._sampler: Optional[AnchorBatchSampler] = None
+        self._batch_cache: Dict[Tuple, object] = {}
         self._checkpoint_every = 0
         self._checkpoint_dir: Optional[Path] = None
         self._checkpoint_keep = 3
@@ -279,6 +288,81 @@ class SESTrainer:
             max_per_node=self.config.max_negatives_per_node,
         )
         self.negative_pairs = negative_edge_index(self._negative_sets)
+        # Cached phase-1 subgraphs embed the old negative pairs.
+        self._batch_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Minibatch mode (docs/PERF.md)
+    # ------------------------------------------------------------------
+    def _configure_minibatch(self, batch_size: int) -> None:
+        """Enable neighbor-sampled minibatch training with ``batch_size`` anchors.
+
+        The sampler draws from its own RNG stream (never the trainer's), so a
+        covering batch — ``batch_size >= num_nodes`` — consumes zero extra
+        draws and reproduces the full-batch trajectory bit-for-bit.
+        """
+        batch_size = int(batch_size)
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if self._sampler is not None:
+            if self._sampler.batch_size != batch_size:
+                raise ValueError(
+                    f"trainer already configured with batch_size="
+                    f"{self._sampler.batch_size}; cannot switch to {batch_size}"
+                )
+            return
+        self._sampler = AnchorBatchSampler(
+            self.num_nodes, batch_size, seed=self.config.seed
+        )
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "metric",
+                name="minibatch",
+                batch_size=self._sampler.batch_size,
+                num_batches=self._sampler.num_batches,
+            )
+
+    @property
+    def batch_size(self) -> Optional[int]:
+        """Configured anchors per batch; ``None`` in full-batch mode."""
+        return None if self._sampler is None else self._sampler.batch_size
+
+    def _phase1_batch(self, anchors: np.ndarray):
+        """Extract (or reuse) the phase-1 subgraph for one anchor batch."""
+        key = ("phase1", anchors.tobytes())
+        batch = self._batch_cache.get(key)
+        if batch is None:
+            if len(self._batch_cache) >= 32:
+                self._batch_cache.clear()
+            batch = extract_phase1_batch(
+                self.graph,
+                anchors,
+                self.khop_edges,
+                self.negative_pairs,
+                hops=self.model.encoder.num_layers,
+            )
+            self._batch_cache[key] = batch
+        return batch
+
+    def _phase2_batch(self, anchors: np.ndarray):
+        """Extract (or reuse) the phase-2 subgraph for one anchor batch."""
+        key = ("phase2", anchors.tobytes())
+        batch = self._batch_cache.get(key)
+        if batch is None:
+            if len(self._batch_cache) >= 32:
+                self._batch_cache.clear()
+            if self.config.use_triplet and self.pairs is not None:
+                pooled = pooled_pair_indices(
+                    self.pairs, self.num_nodes, anchors=anchors
+                )
+            else:
+                empty = np.empty(0, dtype=np.int64)
+                pooled = (empty, empty, empty, empty, empty)
+            batch = extract_phase2_batch(
+                self.graph, anchors, pooled, hops=self.model.encoder.num_layers
+            )
+            self._batch_cache[key] = batch
+        return batch
 
     def _optimizer(self, phase: str) -> Adam:
         """The persistent per-phase optimizer (created on first access).
@@ -340,11 +424,15 @@ class SESTrainer:
             while self._completed["explainable"] < epochs:
                 epoch = self._completed["explainable"]
                 self.faults.check_crash("explainable", epoch)
-                status = self._run_epoch_guarded(
-                    "explainable",
-                    epoch,
-                    lambda: self._explainable_epoch(epoch, epochs, snapshot_set, callback),
-                )
+                if self._sampler is not None:
+                    body = lambda: self._explainable_epoch_minibatch(  # noqa: E731
+                        epoch, epochs, snapshot_set, callback
+                    )
+                else:
+                    body = lambda: self._explainable_epoch(  # noqa: E731
+                        epoch, epochs, snapshot_set, callback
+                    )
+                status = self._run_epoch_guarded("explainable", epoch, body)
                 if status == "degrade":
                     break
                 if status == "ok":
@@ -475,8 +563,159 @@ class SESTrainer:
             callback(epoch, loss.item())
         return loss.item()
 
-    def _freeze_masks(self) -> None:
-        """Extract the trained masks once; phase 2 treats them as constants."""
+    def _explainable_epoch_minibatch(
+        self,
+        epoch: int,
+        epochs: int,
+        snapshot_set: set,
+        callback: Optional[Callable[[int, float], None]],
+    ) -> float:
+        """One phase-1 epoch over sampled anchor batches; returns the mean loss.
+
+        Per batch: plain forward on the induced base subgraph, mask scoring
+        over the batch's k-hop and negative pairs, ``L_sub`` restricted to
+        edges *centred* in the batch (each k-hop edge supervised exactly once
+        per epoch), masked forward + xent over the batch's train anchors, and
+        one optimizer step.  Edge sensitivity accumulates into the global
+        positions.  With a covering batch every array equals its full-batch
+        counterpart, so the trajectory is bit-identical (tested).
+        """
+        cfg = self.config
+        graph, model = self.graph, self.model
+        optimizer = self._optimizer("explainable")
+        if cfg.resample_negatives and epoch > 0:
+            self._resample_negatives()
+        model.train()
+        self.monitors.set_context(phase="explainable", epoch=epoch)
+        batches = self._sampler.epoch_batches()
+        losses: List[float] = []
+        # Sparsity telemetry aggregated as counts so the epoch-level numbers
+        # match the full-batch record exactly when one batch covers the graph.
+        feat_below = feat_total = struct_below = struct_total = 0
+        with self.recorder.span(f"epoch{epoch}"):
+            for index, anchors in enumerate(batches):
+                batch = self._phase1_batch(anchors)
+                labels_local = graph.labels[batch.nodes]
+                train_local = graph.train_mask[batch.nodes]
+                batch_train = train_local & batch.anchor_mask()
+                has_train = bool(batch_train.any())
+                optimizer.zero_grad()
+                with self.recorder.span(f"batch{index}"):
+                    sub_features = Tensor(graph.features[batch.nodes])
+                    hidden, representation, logits = model.encoder.forward_full(
+                        sub_features, batch.edge_index, batch.num_local_nodes
+                    )
+                    scorer_input = (
+                        representation
+                        if cfg.structure_scorer_input == "representation"
+                        else hidden
+                    )
+                    feature_mask = model.mask_generator.feature_mask(hidden)
+                    structure_mask = model.mask_generator.structure_mask(
+                        scorer_input, batch.khop_edges
+                    )
+                    negative_mask = model.mask_generator.negative_mask(
+                        scorer_input, batch.negative_pairs
+                    )
+                    plain_xent = (
+                        F.cross_entropy(logits, labels_local, mask=batch_train)
+                        if has_train
+                        else as_tensor(0.0)
+                    )
+                    centred = batch.khop_center_in_batch
+                    if centred.all():
+                        sub_structure, sub_khop = structure_mask, batch.khop_edges
+                    else:
+                        sub_structure = structure_mask[np.flatnonzero(centred)]
+                        sub_khop = batch.khop_edges[:, centred]
+                    sub_loss = subgraph_loss(
+                        sub_structure,
+                        negative_mask,
+                        sub_khop,
+                        batch.negative_pairs,
+                        labels=labels_local,
+                        train_mask=train_local,
+                        target_mode=cfg.subgraph_target,
+                    )
+                    masked_xent = None
+                    probe = None
+                    if cfg.use_masked_xent and has_train:
+                        masked_features = (
+                            sub_features * feature_mask
+                            if cfg.use_feature_mask
+                            else sub_features
+                        )
+                        probe = Tensor(
+                            np.zeros(batch.khop_edges.shape[1]), requires_grad=True
+                        )
+                        masked_logits = model.encoder(
+                            masked_features,
+                            batch.khop_edges,
+                            batch.num_local_nodes,
+                            edge_weight=structure_mask + probe,
+                        )
+                        masked_xent = F.cross_entropy(
+                            masked_logits, labels_local, mask=batch_train
+                        )
+                    loss = explainable_training_loss(
+                        plain_xent, masked_xent, sub_loss, cfg.alpha,
+                        sub_loss_weight=cfg.sub_loss_weight,
+                    )
+                    loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
+                if probe is not None and probe.grad is not None and epoch >= epochs // 2:
+                    self._edge_sensitivity[batch.khop_positions] += np.maximum(
+                        -probe.grad, 0.0
+                    )
+                feat_below += int((feature_mask.data < 0.5).sum())
+                feat_total += feature_mask.data.size
+                struct_below += int((structure_mask.data < 0.5).sum())
+                struct_total += max(structure_mask.data.size, 1)
+                if self.monitors:
+                    self.monitors.observe_masks(
+                        "explainable", epoch,
+                        feature=feature_mask.data, structure=structure_mask.data,
+                    )
+                    self.monitors.observe_activations(
+                        "explainable", epoch,
+                        hidden=hidden.data, logits=logits.data,
+                    )
+        if self.monitors:
+            self.monitors.after_backward(
+                "explainable", epoch, self.model.named_parameters()
+            )
+        epoch_loss = float(np.mean(losses)) if losses else 0.0
+        self.history.phase1_loss.append(epoch_loss)
+        if graph.val_mask is not None and graph.val_mask.any():
+            self.history.phase1_val_accuracy.append(
+                self._evaluate_plain(graph.val_mask)
+            )
+        if self.recorder.enabled:
+            self.recorder.epoch(
+                "explainable",
+                epoch,
+                epoch_loss,
+                val_accuracy=(
+                    self.history.phase1_val_accuracy[-1]
+                    if self.history.phase1_val_accuracy
+                    else None
+                ),
+                feature_mask_sparsity=float(feat_below / max(feat_total, 1)),
+                structure_mask_sparsity=float(struct_below / max(struct_total, 1)),
+                num_batches=len(batches),
+                batch_size=self._sampler.batch_size,
+            )
+        if epoch in snapshot_set:
+            # Batches only see mask slices, so snapshots come from a full
+            # eval-mode scoring pass (no RNG draws — parity is unaffected).
+            self.history.mask_snapshots[epoch] = self._score_masks_eval()
+        if callback is not None:
+            callback(epoch, epoch_loss)
+        return epoch_loss
+
+    def _score_masks_eval(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Full-graph eval-mode mask scoring (no grad, no RNG draws)."""
         model = self.model
         model.eval()
         with no_grad():
@@ -492,8 +731,13 @@ class SESTrainer:
             structure_mask = model.mask_generator.structure_mask(
                 scorer_input, self.khop_edges
             )
-        self._frozen_feature_mask = feature_mask.data.copy()
-        self._frozen_structure_values = structure_mask.data.copy()
+        return feature_mask.data.copy(), structure_mask.data.copy()
+
+    def _freeze_masks(self) -> None:
+        """Extract the trained masks once; phase 2 treats them as constants."""
+        feature_mask, structure_values = self._score_masks_eval()
+        self._frozen_feature_mask = feature_mask
+        self._frozen_structure_values = structure_values
 
     def set_external_masks(
         self, feature_mask: np.ndarray, structure_values: np.ndarray
@@ -576,7 +820,9 @@ class SESTrainer:
         # Frozen masks and pairs are constants within the phase, so the
         # pooled index arrays stay valid across rollbacks and resumes.
         pooled = (
-            pooled_pair_indices(self.pairs, self.num_nodes) if cfg.use_triplet else None
+            pooled_pair_indices(self.pairs, self.num_nodes)
+            if cfg.use_triplet and self._sampler is None
+            else None
         )
         with self.recorder.phase("predictive", self.stopwatch), \
                 self.monitors.watch("predictive"):
@@ -585,13 +831,15 @@ class SESTrainer:
             while self._completed["predictive"] < epochs:
                 epoch = self._completed["predictive"]
                 self.faults.check_crash("predictive", epoch)
-                status = self._run_epoch_guarded(
-                    "predictive",
-                    epoch,
-                    lambda: self._predictive_epoch(
+                if self._sampler is not None:
+                    body = lambda: self._predictive_epoch_minibatch(  # noqa: E731
+                        epoch, features, edge_weight, callback
+                    )
+                else:
+                    body = lambda: self._predictive_epoch(  # noqa: E731
                         epoch, features, edge_weight, pooled, callback
-                    ),
-                )
+                    )
+                status = self._run_epoch_guarded("predictive", epoch, body)
                 if status == "degrade":
                     break
                 if status == "ok":
@@ -696,6 +944,128 @@ class SESTrainer:
         if callback is not None:
             callback(epoch, loss.item())
         return loss.item()
+
+    def _predictive_epoch_minibatch(
+        self,
+        epoch: int,
+        features: Tensor,
+        edge_weight: Optional[Tensor],
+        callback: Optional[Callable[[int, float], None]],
+    ) -> float:
+        """One phase-2 epoch over sampled anchor batches; returns the mean loss.
+
+        Per batch: forward on the induced base subgraph under the frozen
+        masks (features and edge weights are row/column slices of the
+        full-graph constants), xent over the batch's train anchors, and the
+        triplet loss pooled over the batch anchors' pair sets.  Validation
+        and ``keep_best`` stay full-graph per epoch, exactly as in the
+        full-batch loop.
+        """
+        cfg = self.config
+        graph, model = self.graph, self.model
+        optimizer = self._optimizer("predictive")
+        model.train()
+        self.monitors.set_context(phase="predictive", epoch=epoch)
+        batches = self._sampler.epoch_batches()
+        losses: List[float] = []
+        with self.recorder.span(f"epoch{epoch}"):
+            for index, anchors in enumerate(batches):
+                batch = self._phase2_batch(anchors)
+                labels_local = graph.labels[batch.nodes]
+                batch_train = graph.train_mask[batch.nodes] & batch.anchor_mask()
+                features_local = Tensor(features.data[batch.nodes])
+                weight_local = (
+                    as_tensor(edge_weight.data[batch.edge_positions])
+                    if edge_weight is not None
+                    else None
+                )
+                anchor = positive = negative = None
+                optimizer.zero_grad()
+                with self.recorder.span(f"batch{index}"):
+                    _, representation, logits = model.encoder.forward_full(
+                        features_local, batch.edge_index, batch.num_local_nodes,
+                        edge_weight=weight_local,
+                    )
+                    xent = None
+                    if cfg.use_xent_in_phase2 and batch_train.any():
+                        xent = F.cross_entropy(
+                            logits, labels_local, mask=batch_train
+                        )
+                    triplet = None
+                    pooled = batch.pooled
+                    if pooled is not None and len(pooled[0]) > 0:
+                        anchors_l, pos_index, pos_segment, neg_index, neg_segment = pooled
+                        num_anchors = len(anchors_l)
+                        pool = (
+                            segment_mean
+                            if cfg.triplet_pooling == "mean"
+                            else segment_sum
+                        )
+                        positive = pool(
+                            gather_rows(representation, pos_index),
+                            pos_segment, num_anchors,
+                        )
+                        negative = pool(
+                            gather_rows(representation, neg_index),
+                            neg_segment, num_anchors,
+                        )
+                        anchor = gather_rows(representation, anchors_l)
+                        triplet = F.triplet_margin_loss(
+                            anchor, positive, negative, margin=cfg.margin
+                        )
+                    if triplet is None and xent is None:
+                        # Nothing to optimise in this batch (no train anchors
+                        # and no pair sets): skip the step rather than feed
+                        # an empty loss to the optimizer.
+                        continue
+                    loss = predictive_learning_loss(triplet, xent, cfg.beta)
+                    loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
+                if self.monitors:
+                    self.monitors.observe_activations(
+                        "predictive", epoch,
+                        representation=representation.data, logits=logits.data,
+                    )
+                    if anchor is not None:
+                        self.monitors.observe_triplet(
+                            "predictive", epoch,
+                            np.linalg.norm(anchor.data - positive.data, axis=1),
+                            np.linalg.norm(anchor.data - negative.data, axis=1),
+                            cfg.margin,
+                        )
+        if self.monitors:
+            self.monitors.after_backward(
+                "predictive", epoch, self.model.encoder.named_parameters()
+            )
+        epoch_loss = float(np.mean(losses)) if losses else 0.0
+        self.history.phase2_loss.append(epoch_loss)
+        if graph.val_mask is not None and graph.val_mask.any():
+            masked_val = self._evaluate_masked(graph.val_mask)
+            plain_val = self._evaluate_plain(graph.val_mask)
+            self.history.phase2_val_accuracy.append(max(masked_val, plain_val))
+            if cfg.keep_best and max(masked_val, plain_val) > self._best_val:
+                self._best_val = max(masked_val, plain_val)
+                self._best_state = model.state_dict()
+                self._best_readout = (
+                    "masked" if masked_val >= plain_val else "plain"
+                )
+        if self.recorder.enabled:
+            self.recorder.epoch(
+                "predictive",
+                epoch,
+                epoch_loss,
+                val_accuracy=(
+                    self.history.phase2_val_accuracy[-1]
+                    if self.history.phase2_val_accuracy
+                    else None
+                ),
+                num_batches=len(batches),
+                batch_size=self._sampler.batch_size,
+            )
+        if callback is not None:
+            callback(epoch, epoch_loss)
+        return epoch_loss
 
     # ------------------------------------------------------------------
     # Fault tolerance: guarded epochs, snapshots, resume
@@ -913,6 +1283,7 @@ class SESTrainer:
         checkpoint_every: int = 0,
         checkpoint_dir: Optional[Union[str, Path]] = None,
         checkpoint_keep: int = 3,
+        batch_size: Optional[int] = None,
     ) -> SESResult:
         """Run the full Algorithm 2 pipeline and collect results.
 
@@ -922,7 +1293,13 @@ class SESTrainer:
         ``checkpoint_every=N`` writes a full-state snapshot every N completed
         epochs into ``checkpoint_dir`` (keeping the newest
         ``checkpoint_keep``; ``0`` keeps all).
+        ``batch_size=B`` trains both phases over neighbor-sampled anchor
+        minibatches (docs/PERF.md); ``batch_size >= num_nodes`` reproduces
+        the full-batch trajectory bit-for-bit, and resuming a minibatch run
+        restores the sampler's RNG alongside the trainer state.
         """
+        if batch_size is not None:
+            self._configure_minibatch(batch_size)
         if checkpoint_every > 0:
             if checkpoint_dir is None:
                 checkpoint_dir = Path("results") / "checkpoints" / (

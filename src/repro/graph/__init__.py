@@ -2,6 +2,13 @@
 
 from .graph import Graph
 from .khop import khop_adjacency, khop_edge_index, scatter_edge_values
+from .minibatch import (
+    AnchorBatchSampler,
+    SubgraphBatch,
+    bfs_closure,
+    extract_phase1_batch,
+    extract_phase2_batch,
+)
 from .normalize import (
     gcn_edge_norm,
     gcn_normalized_adjacency,
@@ -24,6 +31,11 @@ __all__ = [
     "khop_adjacency",
     "khop_edge_index",
     "scatter_edge_values",
+    "AnchorBatchSampler",
+    "SubgraphBatch",
+    "bfs_closure",
+    "extract_phase1_batch",
+    "extract_phase2_batch",
     "gcn_normalized_adjacency",
     "gcn_edge_norm",
     "row_normalized_adjacency",

@@ -7,11 +7,62 @@ datasets (following GNNExplainer).
 
 from __future__ import annotations
 
-from typing import Tuple
+import warnings
+from typing import Optional, Tuple
 
 import numpy as np
 
 from .graph import Graph
+
+
+def _group_counts(
+    size: int, train_fraction: float, val_fraction: float
+) -> Tuple[int, int, int]:
+    """Per-group (train, val, test) counts that partition ``size`` nodes.
+
+    The rounding rule matches the historical behaviour exactly for any group
+    large enough that every sub-split is non-empty, so existing committed
+    splits are untouched.  Tiny groups (e.g. a 3-node class at 60/20/20,
+    which used to leave *no* test node) are repaired by moving one node out
+    of the largest allocation into each empty one, whenever the group size
+    permits; when it does not (fewer nodes than non-zero-fraction splits) a
+    warning explains which split stayed empty.
+    """
+    n_train = max(1, int(round(train_fraction * size)))
+    n_val = int(round(val_fraction * size))
+    n_test = size - n_train - n_val
+    wants_val = val_fraction > 0
+
+    def donor() -> Optional[str]:
+        candidates = [("train", n_train), ("val", n_val), ("test", n_test)]
+        name, count = max(candidates, key=lambda item: item[1])
+        return name if count > 1 else None
+
+    repairs = [("test", True), ("val", wants_val)]
+    for needy, wanted in repairs:
+        current = {"train": n_train, "val": n_val, "test": n_test}[needy]
+        if not wanted or current > 0:
+            continue
+        source = donor()
+        if source is None:
+            warnings.warn(
+                f"stratified group of {size} node(s) is too small to give the "
+                f"{needy} split a node at fractions "
+                f"({train_fraction}, {val_fraction}); it stays empty",
+                stacklevel=3,
+            )
+            continue
+        if source == "train":
+            n_train -= 1
+        elif source == "val":
+            n_val -= 1
+        else:
+            n_test -= 1
+        if needy == "val":
+            n_val += 1
+        else:
+            n_test += 1
+    return n_train, n_val, n_test
 
 
 def random_split(
@@ -19,11 +70,15 @@ def random_split(
     train_fraction: float,
     val_fraction: float,
     rng: np.random.Generator,
-    stratify: np.ndarray = None,
+    stratify: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Random boolean masks; optionally stratified by label.
 
     Returns ``(train_mask, val_mask, test_mask)`` partitioning all nodes.
+    Every stratified group contributes at least one node to each split
+    whenever its size permits (see :func:`_group_counts`); groups smaller
+    than the number of requested splits trigger a ``UserWarning`` instead of
+    silently leaving a split empty.
     """
     if not 0 < train_fraction < 1 or not 0 <= val_fraction < 1:
         raise ValueError("fractions must lie in (0, 1)")
@@ -41,8 +96,9 @@ def random_split(
 
     for group in groups:
         permuted = rng.permutation(group)
-        n_train = max(1, int(round(train_fraction * len(group))))
-        n_val = int(round(val_fraction * len(group)))
+        n_train, n_val, _ = _group_counts(
+            len(group), train_fraction, val_fraction
+        )
         train_mask[permuted[:n_train]] = True
         val_mask[permuted[n_train: n_train + n_val]] = True
         test_mask[permuted[n_train + n_val:]] = True

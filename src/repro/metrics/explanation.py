@@ -21,17 +21,15 @@ def roc_auc_score(labels: np.ndarray, scores: np.ndarray) -> float:
     n_neg = int(len(labels) - n_pos)
     if n_pos == 0 or n_neg == 0:
         raise ValueError("ROC-AUC needs both positive and negative samples")
-    # Midranks handle tied scores.
-    order = np.argsort(scores, kind="mergesort")
-    ranks = np.empty(len(scores), dtype=np.float64)
-    sorted_scores = scores[order]
-    i = 0
-    while i < len(scores):
-        j = i
-        while j + 1 < len(scores) and sorted_scores[j + 1] == sorted_scores[i]:
-            j += 1
-        ranks[order[i: j + 1]] = 0.5 * (i + j) + 1.0
-        i = j + 1
+    # Midranks handle tied scores: every member of a tie group gets the mean
+    # of the group's 1-based rank range.  ``np.unique`` yields the groups in
+    # sorted order, so group g occupies sorted positions
+    # [ends[g] - counts[g], ends[g]) and its midrank is
+    # 0.5 * (start + end - 1) + 1.
+    _, inverse, counts = np.unique(scores, return_inverse=True, return_counts=True)
+    ends = np.cumsum(counts)
+    midranks = 0.5 * (2.0 * ends - counts - 1.0) + 1.0
+    ranks = midranks[inverse]
     rank_sum = ranks[labels].sum()
     u_statistic = rank_sum - n_pos * (n_pos + 1) / 2.0
     return float(u_statistic / (n_pos * n_neg))
@@ -105,7 +103,8 @@ def fidelity_plus(
     original_predictions = predict(features)
 
     masked = features.copy()
-    # Only nonzero features can be "removed"; rank importance among them.
+    # top_k beyond the feature count means "remove everything".
+    top_k = min(int(top_k), features.shape[1])
     ranked = np.argsort(-importance, axis=1)[:, :top_k]
     rows = np.repeat(np.arange(features.shape[0]), top_k)
     masked[rows, ranked.ravel()] = 0.0
@@ -143,6 +142,8 @@ def fidelity_minus(
     original_predictions = predict(features)
 
     kept = np.zeros_like(features)
+    # top_k beyond the feature count means "keep everything".
+    top_k = min(int(top_k), features.shape[1])
     ranked = np.argsort(-importance, axis=1)[:, :top_k]
     rows = np.repeat(np.arange(features.shape[0]), top_k)
     columns = ranked.ravel()

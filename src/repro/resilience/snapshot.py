@@ -142,6 +142,12 @@ def capture_training_snapshot(trainer) -> TrainingSnapshot:
         "best_val": float(trainer._best_val),
         "best_readout": trainer._best_readout,
     }
+    # Minibatch mode: the anchor sampler's RNG stream and cursor must resume
+    # bit-identically alongside the trainer's generator.  The key is optional
+    # so snapshots from full-batch runs (including pre-minibatch archives)
+    # keep loading; ``None`` records an explicit full-batch run.
+    sampler = getattr(trainer, "_sampler", None)
+    manifest["minibatch"] = sampler.state_dict() if sampler is not None else None
 
     for name, value in trainer.model.state_dict().items():
         arrays[f"model/{name}"] = value  # state_dict already copies
@@ -267,6 +273,29 @@ def restore_training_snapshot(
         optimizer.load_state_dict(state)
 
     restore_rng_state(trainer.rng, manifest["rng_state"])
+    sampler_state = manifest.get("minibatch")
+    sampler = getattr(trainer, "_sampler", None)
+    if sampler_state is not None:
+        if sampler is None:
+            trainer._configure_minibatch(int(sampler_state["batch_size"]))
+            sampler = trainer._sampler
+        elif sampler.batch_size != int(sampler_state["batch_size"]):
+            raise CheckpointError(
+                f"snapshot is from a minibatch run with batch_size="
+                f"{sampler_state['batch_size']}; trainer is configured with "
+                f"batch_size={sampler.batch_size}"
+            )
+        sampler.load_state_dict(sampler_state)
+    elif sampler is not None:
+        raise CheckpointError(
+            "snapshot is from a full-batch run; trainer is configured with "
+            f"batch_size={sampler.batch_size} — resuming it as a minibatch "
+            "run would not reproduce either trajectory"
+        )
+    # Restored negative/pair sets may not match previously cached subgraphs.
+    cache = getattr(trainer, "_batch_cache", None)
+    if cache is not None:
+        cache.clear()
     trainer._completed = {k: int(v) for k, v in manifest["completed"].items()}
     trainer._best_val = float(manifest["best_val"])
     trainer._best_readout = manifest["best_readout"]

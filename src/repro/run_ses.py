@@ -46,6 +46,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--predictive-epochs", type=int, default=None)
     parser.add_argument("--hidden", type=int, default=None,
                         help="encoder hidden width (default: fast_config's)")
+    parser.add_argument("--batch-size", type=int, default=None, metavar="B",
+                        help="train with neighbor-sampled anchor minibatches "
+                             "of B nodes (default: full-batch; B >= num_nodes "
+                             "reproduces full-batch bit-for-bit)")
     parser.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
                         help="write a full-state snapshot every N epochs")
     parser.add_argument("--checkpoint-dir", default=None,
@@ -113,10 +117,14 @@ def main(argv=None) -> int:
         checkpoint_every=args.checkpoint_every,
         checkpoint_dir=checkpoint_dir,
         checkpoint_keep=args.checkpoint_keep,
+        batch_size=args.batch_size,
     )
 
     completed = trainer._completed
     print(f"dataset={graph.name} backbone={config.backbone} seed={config.seed}")
+    if trainer.batch_size is not None:
+        print(f"minibatch: batch_size={trainer.batch_size} "
+              f"({trainer._sampler.num_batches} batches/epoch)")
     print(f"epochs: explainable={completed['explainable']} "
           f"predictive={completed['predictive']}")
     if trainer.recovery is not None and trainer.recovery.total_rollbacks:

@@ -37,6 +37,7 @@ buffers assume one backward pass replays at a time.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -233,8 +234,8 @@ class CSRSegmentLayout:
 # Content-keyed global memo
 # ---------------------------------------------------------------------------
 
-_LAYOUT_CACHE: Dict[Tuple, CSRSegmentLayout] = {}
-_LAYOUT_CACHE_LIMIT = 32
+_LAYOUT_CACHE: "OrderedDict[Tuple, CSRSegmentLayout]" = OrderedDict()
+_LAYOUT_CACHE_LIMIT = 64
 
 
 def cached_layout(segment_ids: np.ndarray, num_segments: int) -> CSRSegmentLayout:
@@ -243,17 +244,21 @@ def cached_layout(segment_ids: np.ndarray, num_segments: int) -> CSRSegmentLayou
     Keys on content (length + byte hash + segment count), mirroring the conv
     layers' edge-constant cache: hashing the raw bytes is O(E) — negligible
     next to the aggregation — while the argsort it saves is O(E log E).
-    The cache is cleared wholesale past a small bound, matching the access
-    pattern of explainers that cycle through many node-local subgraphs.
+    Eviction is least-recently-used, one entry at a time: minibatch training
+    cycles through a working set of per-batch layouts (k-hop pairs, negative
+    pairs and conv edges for every batch subgraph), and a wholesale clear on
+    overflow would throw the whole working set away every epoch.
     """
     segment_ids = np.ascontiguousarray(segment_ids, dtype=np.int64)
     key = (int(num_segments), segment_ids.shape[0], hash(segment_ids.tobytes()))
     layout = _LAYOUT_CACHE.get(key)
-    if layout is None:
-        if len(_LAYOUT_CACHE) >= _LAYOUT_CACHE_LIMIT:
-            _LAYOUT_CACHE.clear()
-        layout = CSRSegmentLayout(segment_ids, num_segments)
-        _LAYOUT_CACHE[key] = layout
+    if layout is not None:
+        _LAYOUT_CACHE.move_to_end(key)
+        return layout
+    while len(_LAYOUT_CACHE) >= _LAYOUT_CACHE_LIMIT:
+        _LAYOUT_CACHE.popitem(last=False)
+    layout = CSRSegmentLayout(segment_ids, num_segments)
+    _LAYOUT_CACHE[key] = layout
     return layout
 
 

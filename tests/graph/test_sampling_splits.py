@@ -132,3 +132,52 @@ class TestSplits:
         b = random_split(50, 0.6, 0.2, np.random.default_rng(7))
         for mask_a, mask_b in zip(a, b):
             np.testing.assert_array_equal(mask_a, mask_b)
+
+    def test_tiny_stratified_group_reaches_every_split(self):
+        # Regression: a 3-node class at 60/20/20 used to round to
+        # (2 train, 1 val, 0 test) — the class never appeared in the test set.
+        labels = np.array([0] * 40 + [1] * 3)
+        train, val, test = random_split(
+            43, 0.6, 0.2, np.random.default_rng(0), stratify=labels
+        )
+        for mask in (train, val, test):
+            assert mask[labels == 1].sum() == 1
+        combined = train.astype(int) + val.astype(int) + test.astype(int)
+        np.testing.assert_array_equal(combined, np.ones(43, dtype=int))
+
+    def test_two_node_group_favors_test_over_val(self):
+        labels = np.array([0] * 40 + [1] * 2)
+        with pytest.warns(UserWarning, match="val split"):
+            train, val, test = random_split(
+                42, 0.6, 0.2, np.random.default_rng(0), stratify=labels
+            )
+        assert train[labels == 1].sum() == 1
+        assert test[labels == 1].sum() == 1
+        assert val[labels == 1].sum() == 0
+
+    def test_single_node_group_warns(self):
+        labels = np.array([0] * 40 + [1])
+        with pytest.warns(UserWarning, match="too small"):
+            train, _, _ = random_split(
+                41, 0.6, 0.2, np.random.default_rng(0), stratify=labels
+            )
+        assert train[labels == 1].sum() == 1  # train keeps its guaranteed node
+
+    def test_large_groups_keep_historical_counts(self):
+        # The repair must be a no-op for groups big enough that plain
+        # rounding already fills every split (committed splits are pinned).
+        labels = np.repeat(np.arange(3), 20)
+        train, val, test = random_split(
+            60, 0.6, 0.2, np.random.default_rng(0), stratify=labels
+        )
+        for cls in range(3):
+            group = labels == cls
+            assert train[group].sum() == 12
+            assert val[group].sum() == 4
+            assert test[group].sum() == 4
+
+    def test_stratify_defaults_to_none(self):
+        import inspect
+
+        signature = inspect.signature(random_split)
+        assert signature.parameters["stratify"].default is None

@@ -79,6 +79,40 @@ class TestRocAuc:
         with pytest.raises(ValueError):
             roc_auc_score(np.ones(3), np.arange(4.0))
 
+    @staticmethod
+    def _reference_auc(labels, scores):
+        """The pre-vectorisation midrank loop, kept as a differential oracle."""
+        labels = np.asarray(labels).astype(bool)
+        scores = np.asarray(scores, dtype=np.float64)
+        order = np.argsort(scores, kind="stable")
+        ranks = np.empty(len(scores))
+        i = 0
+        while i < len(scores):
+            j = i
+            while j + 1 < len(scores) and scores[order[j + 1]] == scores[order[i]]:
+                j += 1
+            ranks[order[i: j + 1]] = 0.5 * (i + j) + 1.0
+            i = j + 1
+        n_pos = int(labels.sum())
+        n_neg = len(labels) - n_pos
+        u = ranks[labels].sum() - n_pos * (n_pos + 1) / 2.0
+        return float(u / (n_pos * n_neg))
+
+    @pytest.mark.parametrize("tie_levels", [None, 2, 5])
+    def test_differential_against_midrank_loop(self, tie_levels):
+        rng = np.random.default_rng(42)
+        for _ in range(50):
+            n = int(rng.integers(2, 40))
+            labels = rng.integers(0, 2, size=n)
+            labels[0], labels[1] = 0, 1  # both classes present
+            if tie_levels is None:
+                scores = rng.normal(size=n)
+            else:
+                scores = rng.integers(0, tie_levels, size=n).astype(np.float64)
+            assert roc_auc_score(labels, scores) == pytest.approx(
+                self._reference_auc(labels, scores), abs=1e-12
+            )
+
 
 class TestExplanationAuc:
     def test_scores_missing_edges_as_zero(self):
@@ -138,6 +172,20 @@ class TestFidelity:
     def test_shape_mismatch_raises(self):
         with pytest.raises(ValueError):
             fidelity_plus(lambda f: f[:, 0], np.ones((2, 2)), np.ones(2), np.ones((3, 2)))
+
+    def test_top_k_beyond_feature_count_removes_everything(self):
+        def predict(features):
+            return (features[:, 0] > 0.5).astype(int)
+
+        features = np.zeros((4, 3))
+        features[:2, 0] = 1.0
+        labels = np.array([1, 1, 0, 0])
+        importance = np.ones_like(features)
+        # Regression: top_k > F used to raise an IndexError on fancy indexing.
+        oversized = fidelity_plus(predict, features, labels, importance, top_k=8)
+        assert oversized == fidelity_plus(
+            predict, features, labels, importance, top_k=3
+        )
 
     def test_sparsity(self):
         assert sparsity(np.array([0.1, 0.9, 0.2]), threshold=0.5) == pytest.approx(2 / 3)
@@ -222,6 +270,19 @@ class TestFidelityMinus:
 
         with pytest.raises(ValueError):
             fidelity_minus(self._predictor(), np.ones((2, 2)), np.ones(2), np.ones((3, 2)))
+
+    def test_top_k_beyond_feature_count_keeps_everything(self):
+        from repro.metrics import fidelity_minus
+
+        features = np.zeros((4, 3))
+        features[:2, 0] = 1.0
+        labels = np.array([1, 1, 0, 0])
+        importance = np.ones_like(features)
+        # Regression: top_k > F used to raise; clamped it keeps all features,
+        # so the prediction (and the score) match top_k = F exactly.
+        assert fidelity_minus(
+            self._predictor(), features, labels, importance, top_k=99
+        ) == fidelity_minus(self._predictor(), features, labels, importance, top_k=3)
 
     def test_good_explanations_bracket(self, small_cora):
         """For the same importance matrix, Fidelity+ >= Fidelity- when the
