@@ -24,6 +24,7 @@ from typing import List, Tuple
 ROOT = Path(__file__).resolve().parent.parent
 
 DEFAULT_DOCS = [
+    "README.md",
     "docs/API.md",
     "docs/OBSERVABILITY.md",
     "docs/PERF.md",

@@ -234,6 +234,48 @@ def main() -> int:
         assert rc == 0
         assert "minibatch: batch_size=64" in stdout.getvalue()
 
+    def metrics_registry():
+        from repro.obs import MetricsRegistry, parse_exposition
+
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("sc_events_total", "selfcheck").inc(2.0, result="ok")
+        registry.gauge("sc_level").set(1.5)
+        histogram = registry.histogram("sc_seconds", buckets=[0.1, 1.0])
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        parsed = parse_exposition(registry.expose_text())
+        assert parsed[("sc_events_total", (("result", "ok"),))] == 2.0
+        assert parsed[("sc_level", ())] == 1.5
+        assert parsed[("sc_seconds_count", ())] == 3
+        assert 0.1 <= histogram.quantile(0.5) <= 1.0
+        import json
+
+        json.loads(registry.snapshot_json())
+        # The training wiring registered its always-on families at import.
+        import repro.core.ses  # noqa: F401
+        from repro.obs import default_registry
+
+        assert default_registry().get("repro_epoch_seconds") is not None
+
+    def trace_export_smoke():
+        import glob
+        import json
+
+        from repro.obs import chrome_trace, flamegraph_lines, validate_trace
+        from repro.obs.report import load_events, render_report, summarize_run
+
+        records = sorted(glob.glob("results/runs/*.jsonl"))
+        assert records, "no committed run records under results/runs/"
+        for record in records:
+            events = load_events(record)
+            trace = chrome_trace(events, source=record)
+            problems = validate_trace(trace)
+            assert not problems, f"{record}: {problems[0]}"
+            json.dumps(trace)
+            for line in flamegraph_lines(events):
+                int(line.rsplit(" ", 1)[1])
+            assert render_report(summarize_run(events)), record
+
     check("autograd gradients", autograd, results)
     check("csr kernel parity", csr_kernel_parity, results)
     check("dataset generators", datasets, results)
@@ -246,6 +288,8 @@ def main() -> int:
     check("crash-resume parity", crash_resume_parity, results)
     check("minibatch parity", minibatch_parity, results)
     check("run-ses --batch-size", run_ses_batch_flag, results)
+    check("metrics registry", metrics_registry, results)
+    check("trace export over committed records", trace_export_smoke, results)
 
     failed = [name for name, ok, *_ in results if not ok]
     print(f"\n{len(results) - len(failed)}/{len(results)} checks passed")

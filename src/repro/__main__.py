@@ -9,6 +9,9 @@ Equivalent to ``python examples/run_experiments.py``; see
 * ``python -m repro obs-diff BASELINE CURRENT [--max-regress pct]`` diffs
   two run records (or bench JSONs) and exits non-zero on regressions —
   the CI gate; with one path, diffs against the committed baseline.
+* ``python -m repro obs-trace results/runs/<run>.jsonl`` converts a run
+  record into Chrome-trace JSON (open in ``chrome://tracing`` / Perfetto);
+  ``--flame`` also writes a collapsed-stack flamegraph text file.
 * ``python -m repro doctor`` runs scripts/selfcheck.py +
   scripts/check_docs.py and prints one PASS/FAIL summary.
 * ``python -m repro run-ses [--checkpoint-every N] [--resume [PATH]]``
@@ -28,7 +31,7 @@ import time
 
 from .experiments import ALL_EXPERIMENTS, get_profile
 
-SUBCOMMANDS = ("obs-report", "obs-diff", "doctor", "run-ses")
+SUBCOMMANDS = ("obs-report", "obs-diff", "obs-trace", "doctor", "run-ses")
 
 
 def main(argv=None) -> int:
@@ -41,6 +44,10 @@ def main(argv=None) -> int:
         from .obs import diff
 
         return diff.main(argv[1:])
+    if argv and argv[0] == "obs-trace":
+        from .obs import trace
+
+        return trace.main(argv[1:])
     if argv and argv[0] == "doctor":
         from . import doctor
 

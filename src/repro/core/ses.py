@@ -21,6 +21,7 @@ prediction accuracy" (paper §5.6).
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
@@ -52,6 +53,7 @@ from ..tensor import (
     segment_sum,
 )
 from ..obs import MonitorSet, NullRecorder, NumericalAnomalyError, default_monitors, default_recorder
+from ..obs.metrics import default_registry
 from ..resilience import (
     FaultPlan,
     RecoveryManager,
@@ -71,6 +73,28 @@ from .explanations import Explanations
 from .losses import explainable_training_loss, predictive_learning_loss, subgraph_loss
 from .mask_generator import MaskGenerator
 from .pairs import PairSets, construct_pairs, pooled_pair_indices
+
+# Always-on training metrics (docs/OBSERVABILITY.md).  Families are bound
+# once at import; each update is a dict write, and REPRO_METRICS=0 reduces
+# it to a single flag check (overhead gated by results/BENCH_obs_metrics.json).
+_METRICS = default_registry()
+_EPOCHS_TOTAL = _METRICS.counter(
+    "repro_train_epochs_total", "Completed training epochs by phase"
+)
+_BATCHES_TOTAL = _METRICS.counter(
+    "repro_train_batches_total", "Processed minibatches by phase"
+)
+_EPOCH_SECONDS = _METRICS.histogram(
+    "repro_epoch_seconds", "Wall-clock seconds per completed training epoch"
+)
+_TRAIN_LOSS = _METRICS.gauge("repro_train_loss", "Most recent epoch loss by phase")
+_TRAIN_EPOCH = _METRICS.gauge(
+    "repro_train_epoch", "Completed-epoch counter of the current run by phase"
+)
+_SNAPSHOT_SECONDS = _METRICS.histogram(
+    "repro_snapshot_write_seconds",
+    "Wall-clock seconds spent writing one checkpoint snapshot to disk",
+)
 
 
 class SESModel(Module):
@@ -685,6 +709,7 @@ class SESTrainer:
             self.monitors.after_backward(
                 "explainable", epoch, self.model.named_parameters()
             )
+        _BATCHES_TOTAL.inc(len(batches), phase="explainable")
         epoch_loss = float(np.mean(losses)) if losses else 0.0
         self.history.phase1_loss.append(epoch_loss)
         if graph.val_mask is not None and graph.val_mask.any():
@@ -1038,6 +1063,7 @@ class SESTrainer:
             self.monitors.after_backward(
                 "predictive", epoch, self.model.encoder.named_parameters()
             )
+        _BATCHES_TOTAL.inc(len(batches), phase="predictive")
         epoch_loss = float(np.mean(losses)) if losses else 0.0
         self.history.phase2_loss.append(epoch_loss)
         if graph.val_mask is not None and graph.val_mask.any():
@@ -1080,6 +1106,7 @@ class SESTrainer:
         fail-as-it-lies behaviour.
         """
         watchdog_before = self._watchdog_events()
+        start = time.perf_counter()
         try:
             with self.faults.nan_injection(phase, epoch):
                 loss_value = float(body())
@@ -1099,8 +1126,20 @@ class SESTrainer:
         ):
             anomaly = "non-finite parameter after optimizer step"
         if anomaly is None or self.recovery is None:
+            self._note_epoch_metrics(phase, epoch, time.perf_counter() - start, loss_value)
             return "ok"
         return self.recovery.on_anomaly(self, phase, epoch, anomaly)
+
+    @staticmethod
+    def _note_epoch_metrics(
+        phase: str, epoch: int, seconds: float, loss_value: float
+    ) -> None:
+        """Fold one completed epoch into the process metrics registry."""
+        _EPOCHS_TOTAL.inc(phase=phase)
+        _EPOCH_SECONDS.observe(seconds, phase=phase)
+        _TRAIN_EPOCH.set(epoch + 1, phase=phase)
+        if np.isfinite(loss_value):
+            _TRAIN_LOSS.set(loss_value, phase=phase)
 
     def _watchdog_events(self) -> int:
         watchdog = getattr(self.monitors, "watchdog", None)
@@ -1162,8 +1201,9 @@ class SESTrainer:
             if phase in self._completed
             else f"snap-{phase}.npz"
         )
-        path = save_snapshot(self.snapshot(), directory / name)
-        write_latest_pointer(directory, path.name)
+        with _SNAPSHOT_SECONDS.time(phase=phase):
+            path = save_snapshot(self.snapshot(), directory / name)
+            write_latest_pointer(directory, path.name)
         if self.recorder.enabled:
             self.recorder.emit(
                 "snapshot_event",

@@ -18,12 +18,32 @@ The observability layer of the reproduction (docs/OBSERVABILITY.md):
   renders timings, span tree, health summaries and the op profile.
 * :mod:`repro.obs.diff` — ``python -m repro obs-diff BASELINE CURRENT``
   diffs two records and exits non-zero on regressions (the CI gate).
+* :mod:`repro.obs.metrics` — process-wide Prometheus-style metrics
+  (:class:`Counter`, :class:`Gauge`, :class:`Histogram`,
+  :class:`MetricsRegistry` with text exposition + JSON snapshot) fed by
+  the trainer, the CSR kernels and the resilience runtime.
+* :mod:`repro.obs.trace` — ``python -m repro obs-trace run.jsonl``
+  converts a run record into Chrome-trace/Perfetto JSON and collapsed
+  flamegraph stacks.
+* :class:`LiveDashboard` — the ``run-ses --live`` ANSI TTY dashboard, a
+  recorder listener that reads rates from the metrics registry.
 * :func:`make_event` / :func:`config_hash` / :data:`EVENT_TYPES` — the
   event schema itself.
 """
 
+from .dashboard import LiveDashboard, sparkline
 from .diff import DEFAULT_BASELINE, diff_metrics, run_metrics
 from .events import EVENT_TYPES, SCHEMA_VERSION, config_hash, jsonable, make_event
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    exponential_buckets,
+    metrics_enabled,
+    parse_exposition,
+)
 from .monitors import (
     ActivationStatsMonitor,
     GradStatsMonitor,
@@ -53,6 +73,7 @@ from .report import (
     report_path,
     summarize_run,
 )
+from .trace import chrome_trace, flamegraph_lines, validate_trace
 
 __all__ = [
     "EVENT_TYPES",
@@ -88,4 +109,17 @@ __all__ = [
     "DEFAULT_BASELINE",
     "run_metrics",
     "diff_metrics",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "exponential_buckets",
+    "metrics_enabled",
+    "parse_exposition",
+    "chrome_trace",
+    "flamegraph_lines",
+    "validate_trace",
+    "LiveDashboard",
+    "sparkline",
 ]

@@ -44,10 +44,20 @@ def run_metrics(path: str) -> Dict[str, Tuple[float, str]]:
     a ``benchmarks: [{name, stats: {mean, ...}}]`` list.
     """
     if path.endswith(".jsonl"):
-        return _from_run_record(summarize_run(load_events(path)))
-    with open(path, "r", encoding="utf-8") as handle:
-        payload = json.load(handle)
-    return _from_bench_json(payload, path)
+        events = load_events(path)
+        if not events:
+            raise ValueError(f"{path}: empty run record (no events)")
+        metrics = _from_run_record(summarize_run(events))
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}: not valid JSON ({error})") from error
+        metrics = _from_bench_json(payload, path)
+    if not metrics:
+        raise ValueError(f"{path}: no comparable metrics in artefact")
+    return metrics
 
 
 def _from_run_record(summary: Dict[str, Any]) -> Dict[str, Tuple[float, str]]:

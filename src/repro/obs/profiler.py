@@ -37,6 +37,7 @@ from typing import Dict, List, Optional
 from ..tensor.alloc import AllocationTracker
 from ..tensor.tensor import Tensor
 from ..utils.logging import format_table
+from ..utils.units import format_bytes
 
 _active: Optional["OpProfiler"] = None
 
@@ -176,7 +177,11 @@ class OpProfiler:
 
     def table(self, title: str = "op profile") -> str:
         """Render the aggregate as an aligned text table."""
-        headers = ["op", "fwd calls", "fwd s", "bwd calls", "bwd s", "total s", "alloc MB"]
+        records = self.records()
+        alloc_width = max(
+            [len(format_bytes(r["bytes_allocated"])) for r in records] or [0]
+        )
+        headers = ["op", "fwd calls", "fwd s", "bwd calls", "bwd s", "total s", "alloc"]
         rows = [
             [
                 r["op"],
@@ -185,13 +190,13 @@ class OpProfiler:
                 r["backward_calls"],
                 r["backward_seconds"],
                 r["forward_seconds"] + r["backward_seconds"],
-                r["bytes_allocated"] / 1e6,
+                format_bytes(r["bytes_allocated"], width=alloc_width),
             ]
-            for r in self.records()
+            for r in records
         ]
         footer = (
-            f"allocated {self.alloc.bytes_allocated / 1e6:.1f} MB over "
+            f"allocated {format_bytes(self.alloc.bytes_allocated)} over "
             f"{self.alloc.tracked_tensors} graph tensors, "
-            f"peak live {self.alloc.peak_live_bytes / 1e6:.1f} MB"
+            f"peak live {format_bytes(self.alloc.peak_live_bytes)}"
         )
         return format_table(headers, rows, title=title, float_format="{:.4f}") + "\n" + footer

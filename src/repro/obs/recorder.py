@@ -75,6 +75,12 @@ class NullRecorder:
     def emit(self, event: str, **payload: Any) -> None:
         pass
 
+    def add_listener(self, listener) -> None:
+        pass
+
+    def remove_listener(self, listener) -> None:
+        pass
+
     def run_start(self, **payload: Any) -> None:
         pass
 
@@ -165,6 +171,7 @@ class RunRecorder(NullRecorder):
         self.events: List[Dict[str, Any]] = []
         self._seq = 0
         self._span_stack: List[str] = []
+        self._listeners: List[Any] = []
 
     # ------------------------------------------------------------------
     # Core emission
@@ -176,6 +183,25 @@ class RunRecorder(NullRecorder):
         self.events.append(record)
         self._handle.write(json.dumps(record) + "\n")
         self._handle.flush()
+        for listener in self._listeners:
+            listener(record)
+
+    def add_listener(self, listener) -> None:
+        """Register ``listener(event_dict)`` to run on every emitted event.
+
+        The hook behind live sinks (the ``run-ses --live`` dashboard):
+        listeners see the exact dict written to the record, synchronously,
+        after the line is flushed.  A listener that raises aborts the
+        emitting call site — keep them trivial.
+        """
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------
     # Typed emitters (one per schema event; see docs/OBSERVABILITY.md)

@@ -21,6 +21,7 @@ from typing import Any, Dict, List, Sequence
 
 from ..utils.logging import format_table
 from ..utils.timing import format_duration
+from ..utils.units import format_bytes
 
 
 def load_events(path: str) -> List[Dict[str, Any]]:
@@ -228,8 +229,8 @@ def render_report(summary: Dict[str, Any], source: str = "") -> str:
         alloc = summary["alloc"]
         blocks.append(
             "alloc: "
-            f"allocated={alloc.get('bytes_allocated', 0) / 1e6:.1f}MB "
-            f"peak_live={alloc.get('peak_live_bytes', 0) / 1e6:.1f}MB "
+            f"allocated={format_bytes(alloc.get('bytes_allocated', 0))} "
+            f"peak_live={format_bytes(alloc.get('peak_live_bytes', 0))} "
             f"tensors={alloc.get('tracked_tensors', 0)}"
         )
 

@@ -185,6 +185,12 @@ class RecoveryManager:
         return float(optimizer.lr)
 
     def _emit(self, action: str, trainer, phase: str, epoch: int, reason: str, **extra) -> None:
+        from ..obs.metrics import default_registry
+
+        default_registry().counter(
+            "repro_recovery_events_total",
+            "Recovery-policy decisions (rollback/degrade/abort) by action",
+        ).inc(action=action, phase=phase)
         self.recorder.emit(
             "recovery_event",
             action=action,

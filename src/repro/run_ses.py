@@ -69,6 +69,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "(overrides REPRO_FAULTS)")
     parser.add_argument("--telemetry", action="store_true",
                         help="write a JSONL run record under results/runs/")
+    parser.add_argument("--live", action="store_true",
+                        help="draw an in-place ANSI training dashboard on "
+                             "stderr (uses an in-memory run record unless "
+                             "--telemetry is also given)")
     return parser
 
 
@@ -111,14 +115,40 @@ def main(argv=None) -> int:
     if args.resume is not None:
         resume_from = Path(checkpoint_dir if args.resume == "auto" else args.resume)
 
-    trainer = SESTrainer(graph, config, recovery=recovery, faults=faults)
-    result = trainer.fit(
-        resume_from=resume_from,
-        checkpoint_every=args.checkpoint_every,
-        checkpoint_dir=checkpoint_dir,
-        checkpoint_keep=args.checkpoint_keep,
-        batch_size=args.batch_size,
+    recorder = None
+    dashboard = None
+    if args.live:
+        # The dashboard is a recorder listener, so --live needs a real
+        # RunRecorder even with telemetry off — an in-memory one then: the
+        # events drive the TTY and are discarded.
+        import io
+
+        from .obs.dashboard import LiveDashboard
+        from .obs.recorder import RunRecorder, default_recorder, telemetry_enabled
+
+        name = f"{args.dataset}-{args.backbone}-seed{args.seed}"
+        if telemetry_enabled():
+            recorder = default_recorder(name)
+        else:
+            recorder = RunRecorder(run_id=name, path=io.StringIO())
+        dashboard = LiveDashboard().attach(recorder)
+
+    trainer = SESTrainer(
+        graph, config, recorder=recorder, recovery=recovery, faults=faults
     )
+    try:
+        result = trainer.fit(
+            resume_from=resume_from,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_keep=args.checkpoint_keep,
+            batch_size=args.batch_size,
+        )
+    finally:
+        if dashboard is not None:
+            dashboard.close()
+        if recorder is not None:
+            recorder.close()
 
     completed = trainer._completed
     print(f"dataset={graph.name} backbone={config.backbone} seed={config.seed}")

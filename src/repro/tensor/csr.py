@@ -237,6 +237,23 @@ class CSRSegmentLayout:
 _LAYOUT_CACHE: "OrderedDict[Tuple, CSRSegmentLayout]" = OrderedDict()
 _LAYOUT_CACHE_LIMIT = 64
 
+# Hit/miss counter for the live dashboard and exposition.  Bound lazily:
+# importing repro.obs.metrics at module scope would re-enter the package
+# __init__ chain (obs -> profiler -> tensor) mid-initialisation.
+_CACHE_COUNTER = None
+
+
+def _layout_cache_counter():
+    global _CACHE_COUNTER
+    if _CACHE_COUNTER is None:
+        from ..obs.metrics import default_registry
+
+        _CACHE_COUNTER = default_registry().counter(
+            "repro_csr_layout_cache_total",
+            "cached_layout lookups by result (hit/miss)",
+        )
+    return _CACHE_COUNTER
+
 
 def cached_layout(segment_ids: np.ndarray, num_segments: int) -> CSRSegmentLayout:
     """Return a memoised :class:`CSRSegmentLayout` for ``segment_ids``.
@@ -254,11 +271,13 @@ def cached_layout(segment_ids: np.ndarray, num_segments: int) -> CSRSegmentLayou
     layout = _LAYOUT_CACHE.get(key)
     if layout is not None:
         _LAYOUT_CACHE.move_to_end(key)
+        _layout_cache_counter().inc(result="hit")
         return layout
     while len(_LAYOUT_CACHE) >= _LAYOUT_CACHE_LIMIT:
         _LAYOUT_CACHE.popitem(last=False)
     layout = CSRSegmentLayout(segment_ids, num_segments)
     _LAYOUT_CACHE[key] = layout
+    _layout_cache_counter().inc(result="miss")
     return layout
 
 

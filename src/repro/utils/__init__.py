@@ -3,6 +3,7 @@
 from .logging import format_table, get_logger
 from .seed import capture_rng_state, make_rng, restore_rng_state, split_rng
 from .timing import Stopwatch, format_duration, timed
+from .units import format_bytes
 from .validation import check_labels, check_positive, check_positive_int, check_probability
 
 __all__ = [
@@ -13,6 +14,7 @@ __all__ = [
     "Stopwatch",
     "timed",
     "format_duration",
+    "format_bytes",
     "get_logger",
     "format_table",
     "check_probability",

@@ -1,0 +1,39 @@
+"""Human-readable unit rendering shared by reports, tables and dashboards.
+
+Telemetry payloads keep **raw byte counts** (JSON must stay machine-
+diffable); only the human renderings — ``obs-report``, the op-profiler
+table, the live dashboard — go through :func:`format_bytes`.  Binary
+(IEC) units, because every byte count in this repo is a memory size.
+"""
+
+from __future__ import annotations
+
+_BYTE_UNITS = ("B", "KiB", "MiB", "GiB", "TiB", "PiB")
+
+
+def format_bytes(num_bytes: float, width: int = 0) -> str:
+    """Render a byte count as ``412 B`` / ``1.2 KiB`` / ``227.4 MiB``.
+
+    Scales by 1024 into the largest unit with a mantissa < 1024; whole
+    bytes print without a decimal point.  ``width`` right-justifies the
+    result (0 = no padding) so table columns stay aligned::
+
+        >>> format_bytes(130_393_864)
+        '124.4 MiB'
+        >>> format_bytes(412, width=10)
+        '     412 B'
+    """
+    value = float(num_bytes)
+    sign = "-" if value < 0 else ""
+    value = abs(value)
+    unit = _BYTE_UNITS[-1]
+    for candidate in _BYTE_UNITS:
+        if value < 1024.0 or candidate == _BYTE_UNITS[-1]:
+            unit = candidate
+            break
+        value /= 1024.0
+    if unit == "B":
+        text = f"{sign}{int(round(value))} {unit}"
+    else:
+        text = f"{sign}{value:.1f} {unit}"
+    return text.rjust(width) if width else text
