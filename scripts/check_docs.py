@@ -29,6 +29,7 @@ DEFAULT_DOCS = [
     "docs/OBSERVABILITY.md",
     "docs/PERF.md",
     "docs/ROBUSTNESS.md",
+    "docs/SERVING.md",
     "docs/TUTORIAL.md",
 ]
 

@@ -257,6 +257,47 @@ def main() -> int:
 
         assert default_registry().get("repro_epoch_seconds") is not None
 
+    def serve_smoke():
+        import http.client
+        import json
+        import tempfile
+
+        from repro.core import SESTrainer, fast_config
+        from repro.datasets import load_dataset
+        from repro.graph import classification_split
+        from repro.obs import MetricsRegistry
+        from repro.serve import StateHolder, create_server, load_serving_state
+
+        graph = classification_split(load_dataset("cora", scale=0.15, seed=0), seed=0)
+        config = fast_config("gcn", explainable_epochs=3, predictive_epochs=2, seed=0)
+        with tempfile.TemporaryDirectory() as tmp:
+            SESTrainer(graph, config).fit(checkpoint_every=2, checkpoint_dir=tmp)
+            registry = MetricsRegistry(enabled=True)
+            state = load_serving_state(tmp, dataset="cora", registry=registry)
+            server = create_server(StateHolder(state, registry=registry),
+                                   registry=registry)
+            thread = server.serve_in_thread()
+            try:
+                conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                                  timeout=10.0)
+                for path, expect in (
+                    ("/predict/0", 200), ("/explain/0", 200), ("/neighbors/0", 200),
+                    ("/healthz", 200), ("/metrics", 200),
+                    ("/predict/abc", 400), (f"/predict/{graph.num_nodes}", 404),
+                ):
+                    conn.request("GET", path)
+                    response = conn.getresponse()
+                    body = response.read()
+                    assert response.status == expect, (path, response.status)
+                    if path == "/healthz":
+                        assert json.loads(body)["ready"] is True
+                conn.close()
+            finally:
+                server.shutdown()
+                thread.join(timeout=10)
+                server.server_close()
+            assert not thread.is_alive(), "server thread failed to shut down"
+
     def trace_export_smoke():
         import glob
         import json
@@ -289,6 +330,7 @@ def main() -> int:
     check("minibatch parity", minibatch_parity, results)
     check("run-ses --batch-size", run_ses_batch_flag, results)
     check("metrics registry", metrics_registry, results)
+    check("serve smoke (snapshot -> HTTP)", serve_smoke, results)
     check("trace export over committed records", trace_export_smoke, results)
 
     failed = [name for name, ok, *_ in results if not ok]

@@ -18,6 +18,9 @@ Equivalent to ``python examples/run_experiments.py``; see
   trains one SES configuration under the fault-tolerant runtime
   (checkpoint/resume, NaN recovery, fault injection) — see
   docs/ROBUSTNESS.md.
+* ``python -m repro serve --snapshot-dir DIR`` serves predictions and
+  explanations from a training snapshot over HTTP, with LRU explanation
+  caching and snapshot hot-reload — see docs/SERVING.md.
 * ``--telemetry`` makes every experiment harness write run records under
   ``results/runs/`` (sets ``REPRO_TELEMETRY=1`` for the invocation).
 """
@@ -31,7 +34,7 @@ import time
 
 from .experiments import ALL_EXPERIMENTS, get_profile
 
-SUBCOMMANDS = ("obs-report", "obs-diff", "obs-trace", "doctor", "run-ses")
+SUBCOMMANDS = ("obs-report", "obs-diff", "obs-trace", "doctor", "run-ses", "serve")
 
 
 def main(argv=None) -> int:
@@ -56,6 +59,10 @@ def main(argv=None) -> int:
         from . import run_ses
 
         return run_ses.main(argv[1:])
+    if argv and argv[0] == "serve":
+        from .serve import cli as serve_cli
+
+        return serve_cli.main(argv[1:])
 
     parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
     parser.add_argument(

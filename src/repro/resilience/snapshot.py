@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Tuple, Union
@@ -407,24 +408,54 @@ def find_latest_snapshot(directory: PathLike) -> Tuple[TrainingSnapshot, Path]:
     Corrupt or truncated candidates are skipped (with their failure recorded
     in the final error message if nothing loads), so a crash during the most
     recent save falls back to the previous snapshot instead of aborting.
+    A stale ``LATEST`` pointer — one naming a deleted or damaged snapshot —
+    falls back the same way but raises a :class:`RuntimeWarning`, because a
+    pointer that disagrees with the directory usually means a promotion went
+    wrong and hot-reload consumers should know they are serving a fallback.
+
+    Concurrency-safe against a pruner: a snapshot deleted between directory
+    listing and ``stat`` (``SESTrainer._prune_checkpoints`` runs while the
+    serving watcher polls) is silently dropped from the candidate list
+    instead of surfacing as an uncaught ``FileNotFoundError``.
     """
     directory = Path(directory)
-    candidates: List[Path] = []
+    pointer_target: Optional[Path] = None
     pointer = directory / LATEST_POINTER
-    if pointer.exists():
+    try:
         name = pointer.read_text(encoding="utf-8").strip()
-        if name:
-            candidates.append(directory / name)
-    snapshots = [p for p in directory.glob("*.npz") if not p.name.endswith(".tmp")]
-    snapshots.sort(key=lambda p: (os.path.getmtime(p), p.name), reverse=True)
-    for path in snapshots:
+    except OSError:
+        name = ""
+    if name:
+        pointer_target = directory / name
+    keyed: List[Tuple[float, str, Path]] = []
+    for path in directory.glob("*.npz"):
+        if path.name.endswith(".tmp"):
+            continue
+        try:
+            mtime = os.path.getmtime(path)
+        except OSError:
+            continue  # deleted between listing and stat (pruner race)
+        keyed.append((mtime, path.name, path))
+    keyed.sort(reverse=True)
+    candidates: List[Path] = [] if pointer_target is None else [pointer_target]
+    for _, _, path in keyed:
         if path not in candidates:
             candidates.append(path)
     failures: List[str] = []
     for path in candidates:
         try:
-            return load_snapshot(path), path
+            snapshot = load_snapshot(path), path
         except CheckpointError as error:
             failures.append(str(error))
+            continue
+        if failures and pointer_target is not None and path != pointer_target:
+            warnings.warn(
+                f"LATEST pointer in {directory} names {pointer_target.name!r} "
+                f"which failed to load ({failures[0]}); falling back to "
+                f"{path.name!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return snapshot
     detail = ("; ".join(failures)) or "no snapshot files present"
     raise CheckpointError(f"no usable snapshot under {directory}: {detail}")

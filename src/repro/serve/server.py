@@ -1,0 +1,232 @@
+"""Stdlib HTTP front end: one thread per connection, JSON everywhere.
+
+Endpoints (all ``GET``; wire contracts pinned by
+``tests/serve/test_api_contract.py`` and documented in docs/SERVING.md):
+
+========================  =====================================================
+``/predict/<node>``       prediction + logits for one node
+``/explain/<node>``       per-node ``E_feat``/``E_sub`` payload (LRU-cached)
+``/neighbors/<node>``     the node's direct neighbourhood
+``/healthz``              liveness + readiness + snapshot identity
+``/metrics``              Prometheus text exposition of the process registry
+========================  =====================================================
+
+Error semantics: ``400`` for a non-integer node id, ``404`` for an id
+outside the graph or an unknown route, ``503`` (with ``Retry-After``)
+while no snapshot has finished loading.  Every response — including every
+error — is a JSON body with an accurate ``Content-Length``, so HTTP/1.1
+keep-alive connections survive error responses.
+
+Telemetry: each request increments
+``repro_serve_requests_total{endpoint,status}`` and observes
+``repro_serve_request_seconds{endpoint}``; cache traffic shows up on
+``repro_serve_cache_total`` via the store.  All of it is readable from the
+process itself at ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import urlsplit
+
+from ..obs.metrics import MetricsRegistry, default_registry, exponential_buckets
+from .watcher import StateHolder
+
+__all__ = ["SESServer", "SESRequestHandler", "create_server"]
+
+_NODE_ROUTE = re.compile(r"^/(predict|explain|neighbors)/([^/]+)$")
+
+# 0.1ms .. ~6.5s: serving latencies live well below the training-scale
+# default buckets.
+REQUEST_BUCKETS = exponential_buckets(0.0001, 4.0, 8)
+
+
+class SESRequestHandler(BaseHTTPRequestHandler):
+    """Routes one GET; all state lives on the owning :class:`SESServer`."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+    # Headers and body go out as separate writes; without TCP_NODELAY the
+    # Nagle/delayed-ACK interaction adds ~40ms to every keep-alive request.
+    disable_nagle_algorithm = True
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not self.server.quiet:  # type: ignore[attr-defined]
+            sys.stderr.write(
+                f"[serve] {self.address_string()} {format % args}\n"
+            )
+
+    def _send_json(
+        self, status: int, payload: Dict[str, Any], content_type: str = "application/json"
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if status == 503:
+            self.send_header("Retry-After", "1")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> int:
+        self._send_json(status, {"error": {"code": status, "message": message}})
+        return status
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler contract
+        server: "SESServer" = self.server  # type: ignore[assignment]
+        path = urlsplit(self.path).path
+        endpoint, handle = self._route(path)
+        with server.request_seconds.time(endpoint=endpoint):
+            try:
+                status = handle(path)
+            except BrokenPipeError:
+                # Client went away mid-response; nothing left to send.
+                status = 499
+            except Exception as error:  # noqa: BLE001 - keep the worker alive
+                try:
+                    status = self._error(500, f"{type(error).__name__}: {error}")
+                except Exception:  # headers already sent; drop the connection
+                    self.close_connection = True
+                    status = 500
+        server.requests_total.inc(endpoint=endpoint, status=str(status))
+
+    def _route(self, path: str) -> Tuple[str, Any]:
+        if path == "/healthz":
+            return "healthz", self._handle_healthz
+        if path == "/metrics":
+            return "metrics", self._handle_metrics
+        match = _NODE_ROUTE.match(path)
+        if match:
+            endpoint = match.group(1)
+            return endpoint, lambda _path: self._handle_node(endpoint, match.group(2))
+        return "unknown", lambda _path: self._error(404, f"unknown endpoint {path!r}")
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def _handle_healthz(self, _path: str) -> int:
+        server: "SESServer" = self.server  # type: ignore[assignment]
+        state = server.holder.get()
+        payload: Dict[str, Any] = {
+            "status": "ok",
+            "ready": state is not None,
+            "snapshot": None,
+            "completed": {},
+            "num_nodes": None,
+            "readout": None,
+            "cache": None,
+        }
+        if state is not None:
+            payload.update(state.describe())
+        self._send_json(200, payload)
+        return 200
+
+    def _handle_metrics(self, _path: str) -> int:
+        server: "SESServer" = self.server  # type: ignore[assignment]
+        self._send_text(
+            200,
+            server.registry.expose_text(),
+            "text/plain; version=0.0.4; charset=utf-8",
+        )
+        return 200
+
+    def _handle_node(self, endpoint: str, raw_id: str) -> int:
+        server: "SESServer" = self.server  # type: ignore[assignment]
+        state = server.holder.get()
+        if state is None:
+            return self._error(503, "no snapshot loaded yet; retry shortly")
+        try:
+            node = int(raw_id)
+        except ValueError:
+            return self._error(400, f"node id must be an integer, got {raw_id!r}")
+        if not state.valid_node(node):
+            return self._error(
+                404, f"node {node} not in graph (0..{state.num_nodes - 1})"
+            )
+        if endpoint == "predict":
+            payload = state.predict_payload(node)
+        elif endpoint == "explain":
+            cached_payload, hit = state.store.get(node)
+            payload = dict(cached_payload, cached=hit)
+        else:
+            payload = state.neighbors_payload(node)
+        self._send_json(200, payload)
+        return 200
+
+
+class SESServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to a :class:`StateHolder`.
+
+    ``daemon_threads`` keeps a hung client from blocking shutdown; the
+    holder indirection means the server itself never owns model state and a
+    hot reload is invisible to it.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        holder: StateHolder,
+        registry: Optional[MetricsRegistry] = None,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__(address, SESRequestHandler)
+        self.holder = holder
+        self.registry = registry if registry is not None else default_registry()
+        self.quiet = quiet
+        self.requests_total = self.registry.counter(
+            "repro_serve_requests_total", "HTTP requests by endpoint and status."
+        )
+        self.request_seconds = self.registry.histogram(
+            "repro_serve_request_seconds",
+            "HTTP request handling latency.",
+            buckets=REQUEST_BUCKETS,
+        )
+
+    @property
+    def port(self) -> int:
+        return int(self.server_address[1])
+
+    @property
+    def url(self) -> str:
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def serve_in_thread(self) -> threading.Thread:
+        """Start ``serve_forever`` on a daemon thread (tests, selfcheck)."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve-http", daemon=True
+        )
+        thread.start()
+        return thread
+
+
+def create_server(
+    holder: StateHolder,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    registry: Optional[MetricsRegistry] = None,
+    quiet: bool = True,
+) -> SESServer:
+    """Bind an :class:`SESServer` (``port=0`` picks an ephemeral port)."""
+    return SESServer((host, port), holder, registry=registry, quiet=quiet)

@@ -1,0 +1,135 @@
+"""LRU-bounded per-node explanation cache backing the serving layer.
+
+SES computes ``E_feat``/``E_sub`` for *every* node in one forward pass, but
+the serialised per-node payload (top features, ranked neighbours) is built
+on demand: a serving process answering for a million-node graph cannot
+afford to materialise a JSON-ready dict per node up front, and request
+traffic is heavily skewed toward a small working set anyway.
+
+:class:`ExplanationStore` memoises those payloads under a hard capacity
+bound with least-recently-used eviction.  Every lookup is recorded both on
+the store's own counters (``hits``/``misses``/``evictions``, exact and
+lock-protected) and on the process-wide
+``repro_serve_cache_total{result=hit|miss}`` counter, so the ``/metrics``
+endpoint and the property tests observe the same numbers.
+
+Thread-safety: a single lock guards lookup, insertion and eviction, and the
+payload for a missing node is computed *inside* the lock.  Payload builds
+are cheap (one ``argsort`` over a feature row plus a CSR row slice), and
+computing under the lock keeps the hit/miss accounting exact and the
+capacity bound strict even under the threaded HTTP server — two racing
+requests for the same cold node cost one compute, not two.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from ..obs.metrics import MetricsRegistry, default_registry
+
+__all__ = ["ExplanationStore"]
+
+
+class ExplanationStore:
+    """Capacity-bounded LRU cache of per-node explanation payloads.
+
+    Parameters
+    ----------
+    compute:
+        ``compute(node) -> dict`` builds the payload for a node on a cache
+        miss.  It must be deterministic for a fixed serving state.
+    capacity:
+        Maximum number of cached payloads (>= 1).  Inserting past the bound
+        evicts least-recently-used entries first.
+    registry:
+        Metrics registry receiving ``repro_serve_cache_total`` increments
+        (default: the process-wide registry).
+    """
+
+    def __init__(
+        self,
+        compute: Callable[[int], Dict[str, Any]],
+        capacity: int = 1024,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._compute = compute
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[int, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        registry = registry if registry is not None else default_registry()
+        self._cache_total = registry.counter(
+            "repro_serve_cache_total",
+            "Explanation-store lookups by result (hit/miss).",
+        )
+        self._evictions_total = registry.counter(
+            "repro_serve_evictions_total",
+            "Explanation-store LRU evictions.",
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> List[int]:
+        """Cached node ids in eviction order (least recently used first)."""
+        with self._lock:
+            return list(self._entries)
+
+    def get(self, node: int) -> tuple:
+        """Return ``(payload, hit)`` for ``node``, computing on a miss."""
+        node = int(node)
+        with self._lock:
+            if node in self._entries:
+                self._entries.move_to_end(node)
+                self.hits += 1
+                self._cache_total.inc(result="hit")
+                return self._entries[node], True
+            payload = self._compute(node)
+            self.misses += 1
+            self._cache_total.inc(result="miss")
+            self._entries[node] = payload
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                self._evictions_total.inc()
+            return payload, False
+
+    def warm(self, nodes: Iterable[int]) -> int:
+        """Precompute payloads without touching the hit/miss accounting.
+
+        Fills at most ``capacity`` entries (warming past the bound would
+        only churn the LRU order); returns the number inserted.
+        """
+        inserted = 0
+        for node in nodes:
+            node = int(node)
+            with self._lock:
+                if len(self._entries) >= self.capacity:
+                    break
+                if node in self._entries:
+                    continue
+                self._entries[node] = self._compute(node)
+                inserted += 1
+        return inserted
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Size/capacity/hit/miss snapshot for ``/healthz``."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

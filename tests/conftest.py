@@ -1,6 +1,14 @@
-"""Shared fixtures: small deterministic graphs and a numeric grad-checker."""
+"""Shared fixtures: small deterministic graphs and a numeric grad-checker.
+
+Also enforces the ``network`` marker's per-test timeout: socket-bound tests
+(the serving layer) run under a ``SIGALRM`` watchdog so a hung accept/read
+fails the one test with a ``TimeoutError`` instead of wedging tier-1.
+"""
 
 from __future__ import annotations
+
+import signal
+import socket
 
 import numpy as np
 import pytest
@@ -8,6 +16,35 @@ import scipy.sparse as sp
 
 from repro.datasets import ba_shapes, cora_like
 from repro.graph import Graph, classification_split, explanation_split
+
+NETWORK_TEST_TIMEOUT = 120  # seconds; override per test with network(timeout=N)
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    marker = item.get_closest_marker("network")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        return (yield)
+    timeout = int(marker.kwargs.get("timeout", NETWORK_TEST_TIMEOUT))
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"network test exceeded its {timeout}s timeout (hung socket?)"
+        )
+
+    # Belt and braces: a default socket timeout turns a silent hang inside
+    # stdlib client/server code into a catchable exception well before the
+    # alarm has to fire.
+    previous_socket_timeout = socket.getdefaulttimeout()
+    socket.setdefaulttimeout(timeout)
+    previous_handler = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(timeout)
+    try:
+        return (yield)
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous_handler)
+        socket.setdefaulttimeout(previous_socket_timeout)
 
 
 def numeric_gradient(fn, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:

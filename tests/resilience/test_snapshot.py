@@ -212,7 +212,8 @@ class TestDamageDetection:
         write_latest_pointer(tmp_path, newest.name)
         truncate_file(newest, keep_fraction=0.3)  # crash mid-write of the newest
 
-        snapshot, path = find_latest_snapshot(tmp_path)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            snapshot, path = find_latest_snapshot(tmp_path)
         assert path == good
         assert snapshot.completed["explainable"] == 1
 

@@ -1,0 +1,158 @@
+"""Concurrent-load integration test: hot-reload under fire.
+
+Eight client threads hammer every endpoint over keep-alive connections
+while the main thread flips the snapshot directory's ``LATEST`` pointer
+twice.  The contract being proved (ISSUE acceptance criterion):
+
+* zero non-2xx responses and zero dropped connections across the run;
+* every response is attributable to one of the two snapshots (never a
+  half-swapped hybrid);
+* after each swap completes, responses reflect the newly promoted snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve import SnapshotWatcher, StateHolder, create_server
+from repro.resilience.snapshot import write_latest_pointer
+
+from .conftest import Client, make_state, shutdown_server, wait_until
+
+pytestmark = pytest.mark.network
+
+NUM_CLIENTS = 8
+MIN_REQUESTS_PER_CLIENT = 30
+
+
+@pytest.fixture()
+def reloading_server(snapshot_dir, predictive_snapshots, registry):
+    """Server serving snapshot A, with a fast watcher following LATEST."""
+    snap_a = predictive_snapshots[0]
+    write_latest_pointer(snapshot_dir, snap_a.name)
+    state = make_state(snapshot_dir, registry, source_token=snap_a.name)
+    assert state.snapshot_name == snap_a.name
+    holder = StateHolder(state, registry=registry)
+    server = create_server(holder, port=0, registry=registry)
+    thread = server.serve_in_thread()
+    watcher = SnapshotWatcher(
+        holder,
+        snapshot_dir,
+        lambda token: make_state(snapshot_dir, registry, source_token=token),
+        interval=0.05,
+        registry=registry,
+    ).start()
+    yield server, watcher
+    watcher.stop()
+    shutdown_server(server, thread)
+    # Leave the directory pointing at the newest snapshot for other tests.
+    write_latest_pointer(snapshot_dir, predictive_snapshots[-1].name)
+
+
+def test_hot_reload_under_concurrent_load(
+    reloading_server, predictive_snapshots, registry
+):
+    server, watcher = reloading_server
+    snap_a, snap_b = predictive_snapshots[0].name, predictive_snapshots[1].name
+    snapshot_dir = watcher.directory
+    stop = threading.Event()
+    results = [[] for _ in range(NUM_CLIENTS)]  # (status, snapshot-or-None)
+    failures: list = []
+
+    def hammer(index: int) -> None:
+        client = Client(server.port)
+        endpoints = ("/predict/{n}", "/explain/{n}", "/neighbors/{n}", "/healthz")
+        try:
+            n = 0
+            while (not stop.is_set() or n < MIN_REQUESTS_PER_CLIENT) and n < 5000:
+                path = endpoints[n % len(endpoints)].format(n=(index * 7 + n) % 50)
+                status, _, payload = client.get(path)
+                snapshot = payload.get("snapshot") if isinstance(payload, dict) else None
+                results[index].append((status, snapshot))
+                n += 1
+        except Exception as error:  # noqa: BLE001 - a drop IS the failure signal
+            failures.append(f"client {index}: {type(error).__name__}: {error}")
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=hammer, args=(i,), daemon=True)
+        for i in range(NUM_CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+
+    probe = Client(server.port)
+    try:
+        def serving(name: str) -> bool:
+            _, _, payload = probe.get("/healthz")
+            return payload["snapshot"] == name
+
+        # Swap 1: A -> B, under load.
+        write_latest_pointer(snapshot_dir, snap_b)
+        wait_until(lambda: serving(snap_b))
+        # Swap 2: B -> A, still under load.
+        write_latest_pointer(snapshot_dir, snap_a)
+        wait_until(lambda: serving(snap_a))
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        probe.close()
+    assert not any(thread.is_alive() for thread in threads), "client thread hung"
+
+    # Zero dropped connections, zero client-side errors.
+    assert failures == []
+    flat = [entry for per_client in results for entry in per_client]
+    assert len(flat) >= NUM_CLIENTS * MIN_REQUESTS_PER_CLIENT
+    # Zero non-2xx across >= 2 swaps under >= 8 concurrent clients.
+    non_2xx = [entry for entry in flat if not 200 <= entry[0] < 300]
+    assert non_2xx == []
+    # Every attributed response names one of the two real snapshots.
+    seen = {snapshot for _, snapshot in flat if snapshot is not None}
+    assert seen <= {snap_a, snap_b}
+    assert watcher.swaps >= 2
+    assert registry.get("repro_serve_reloads_total").value(result="error") == 0
+
+    # Post-swap responses reflect the promoted snapshot on every endpoint.
+    check = Client(server.port)
+    try:
+        for endpoint in ("/predict/0", "/explain/0", "/neighbors/0", "/healthz"):
+            status, _, payload = check.get(endpoint)
+            assert status == 200
+            assert payload["snapshot"] == snap_a, endpoint
+    finally:
+        check.close()
+
+
+def test_watcher_survives_corrupt_promotion(
+    snapshot_dir, predictive_snapshots, registry, tmp_path
+):
+    """A bad promotion keeps the old state serving (degrade to stale)."""
+    snap_a = predictive_snapshots[0]
+    write_latest_pointer(snapshot_dir, snap_a.name)
+    state = make_state(snapshot_dir, registry)
+    holder = StateHolder(state, registry=registry)
+
+    calls = []
+
+    def loader(token):
+        calls.append(token)
+        raise RuntimeError("simulated half-written snapshot")
+
+    watcher = SnapshotWatcher(holder, snapshot_dir, loader, interval=0.01,
+                              registry=registry)
+    broken = snapshot_dir / "snap-broken.npz"
+    broken.write_bytes(b"not a zipfile")
+    try:
+        write_latest_pointer(snapshot_dir, broken.name)
+        assert watcher.poll_once() is False
+        assert calls == [broken.name]
+        assert holder.get() is state  # old state untouched
+        assert watcher.last_error is not None
+        assert registry.get("repro_serve_reloads_total").value(result="error") == 1.0
+    finally:
+        broken.unlink()
+        write_latest_pointer(snapshot_dir, predictive_snapshots[-1].name)

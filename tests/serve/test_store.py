@@ -1,0 +1,118 @@
+"""Hypothesis property tests for :class:`repro.serve.ExplanationStore`.
+
+Three invariants under arbitrary access sequences:
+
+* the capacity bound is never exceeded, not even transiently observable;
+* eviction follows exact LRU order (checked against an ``OrderedDict``
+  reference model stepped access by access);
+* the store's own hit/miss counts equal the registry's
+  ``repro_serve_cache_total`` counters, always.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import ExplanationStore
+
+
+def make_store(capacity, registry=None, computed=None):
+    def compute(node):
+        if computed is not None:
+            computed.append(node)
+        return {"node": node}
+
+    registry = registry or MetricsRegistry(enabled=True)
+    return ExplanationStore(compute, capacity=capacity, registry=registry), registry
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    accesses=st.lists(st.integers(min_value=0, max_value=9), max_size=120),
+    capacity=st.integers(min_value=1, max_value=5),
+)
+def test_lru_contract(accesses, capacity):
+    store, registry = make_store(capacity)
+    reference: "OrderedDict[int, bool]" = OrderedDict()
+    hits = misses = evictions = 0
+    for node in accesses:
+        payload, hit = store.get(node)
+        assert payload == {"node": node}
+        if node in reference:
+            assert hit is True
+            reference.move_to_end(node)
+            hits += 1
+        else:
+            assert hit is False
+            reference[node] = True
+            misses += 1
+            while len(reference) > capacity:
+                reference.popitem(last=False)
+                evictions += 1
+        # Capacity bound never exceeded, LRU order matches the model.
+        assert len(store) <= capacity
+        assert store.keys() == list(reference)
+    assert (store.hits, store.misses, store.evictions) == (hits, misses, evictions)
+    counter = registry.get("repro_serve_cache_total")
+    assert counter.value(result="hit") == float(hits)
+    assert counter.value(result="miss") == float(misses)
+    assert registry.get("repro_serve_evictions_total").value() == float(evictions)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    accesses=st.lists(st.integers(min_value=0, max_value=30), max_size=100),
+    capacity=st.integers(min_value=1, max_value=4),
+)
+def test_each_resident_node_computed_once(accesses, capacity):
+    computed = []
+    store, _ = make_store(capacity, computed=computed)
+    for node in accesses:
+        store.get(node)
+    # compute fires exactly once per miss, and misses == compute calls.
+    assert len(computed) == store.misses
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError, match="capacity"):
+        make_store(0)
+
+
+def test_warm_fills_without_touching_counters():
+    store, registry = make_store(4)
+    assert store.warm(range(10)) == 4  # bounded by capacity
+    assert len(store) == 4
+    assert (store.hits, store.misses) == (0, 0)
+    counter = registry.get("repro_serve_cache_total")
+    assert counter.value(result="hit") == 0.0
+    assert counter.value(result="miss") == 0.0
+    # Warmed entries are real hits afterwards.
+    _, hit = store.get(0)
+    assert hit is True
+
+
+def test_threaded_access_respects_capacity():
+    store, _ = make_store(8)
+    errors = []
+
+    def worker(seed):
+        try:
+            for i in range(300):
+                store.get((seed * 13 + i) % 32)
+                assert len(store) <= 8
+        except Exception as error:  # noqa: BLE001
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert errors == []
+    assert store.hits + store.misses == 6 * 300
