@@ -1,0 +1,141 @@
+"""Data-parallel training benchmark: epoch-time scaling and recovery cost.
+
+Trains SES on Cora three times — 1, 2 and 4 workers — with the identical
+shard structure (``workers=1`` runs the same sharded algorithm in-process),
+recording mean epoch wall-time per worker count, then once more at 2
+workers with a ``kill_worker`` fault injected mid-run to price a full
+worker recovery (detect → restart → re-ship → re-dispatch).
+
+Determinism is asserted, not assumed: every run must produce the same
+final-epoch losses, or the benchmark fails — a perf harness that silently
+benchmarks a *different* trajectory measures nothing.
+
+Writes ``results/BENCH_parallel.json`` in the ``{benchmarks: [{name,
+stats}]}`` shape ``python -m repro obs-diff`` consumes (epoch seconds and
+recovery overhead; lower is better).
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+BENCH_JSON = os.path.join("results", "BENCH_parallel.json")
+
+DATASET = "cora"
+SCALE = 0.5
+SEED = 0
+EPOCHS = (6, 3)  # explainable, predictive
+WORKER_COUNTS = (1, 2, 4)
+KILL_SPEC = "kill_worker@explainable:3:1"
+
+
+def train_once(workers, faults=None):
+    """One timed SES fit; returns (trainer, result, seconds)."""
+    from repro.core import SESTrainer, fast_config
+    from repro.datasets import load_dataset
+    from repro.graph import classification_split
+    from repro.resilience import FaultPlan
+
+    graph = classification_split(
+        load_dataset(DATASET, scale=SCALE, seed=SEED), seed=SEED
+    )
+    config = fast_config(
+        "gcn",
+        explainable_epochs=EPOCHS[0],
+        predictive_epochs=EPOCHS[1],
+        seed=SEED,
+    )
+    plan = FaultPlan.parse(faults) if faults else None
+    trainer = SESTrainer(graph, config, faults=plan)
+    start = time.time()
+    result = trainer.fit(workers=workers)
+    return trainer, result, time.time() - start
+
+
+def main(argv=None) -> int:
+    total_epochs = sum(EPOCHS)
+    benchmarks = []
+    summary = {
+        "dataset": DATASET,
+        "scale": SCALE,
+        "seed": SEED,
+        "epochs": list(EPOCHS),
+        "kill_spec": KILL_SPEC,
+    }
+    trajectories = {}
+    seconds_by_workers = {}
+    for workers in WORKER_COUNTS:
+        trainer, result, seconds = train_once(workers)
+        seconds_by_workers[workers] = seconds
+        trajectories[f"workers{workers}"] = (
+            trainer.history.phase1_loss[-1],
+            trainer.history.phase2_loss[-1],
+        )
+        benchmarks.append(
+            {
+                "name": f"epoch_seconds_workers{workers}",
+                "stats": {"mean": seconds / total_epochs},
+            }
+        )
+        summary[f"fit_seconds_workers{workers}"] = round(seconds, 3)
+        summary[f"test_accuracy_workers{workers}"] = result.test_accuracy
+        print(
+            f"workers={workers}: {seconds:.2f}s total "
+            f"({seconds / total_epochs:.3f}s/epoch) "
+            f"test_acc={result.test_accuracy:.4f}"
+        )
+
+    trainer, result, kill_seconds = train_once(2, faults=KILL_SPEC)
+    trajectories["workers2_kill"] = (
+        trainer.history.phase1_loss[-1],
+        trainer.history.phase2_loss[-1],
+    )
+    # Measured inside the supervisor: detect -> replacement dispatched.
+    # (Total-runtime differences are noise-dominated at this graph size.)
+    recovery = trainer._parallel.recovery_seconds
+    benchmarks.append(
+        {"name": "recovery_seconds_after_kill", "stats": {"mean": recovery}}
+    )
+    summary["fit_seconds_workers2_kill"] = round(kill_seconds, 3)
+    summary["recovery_seconds"] = round(recovery, 3)
+    summary["restarts_during_kill_run"] = trainer._parallel.total_restarts
+    print(
+        f"workers=2 + {KILL_SPEC}: {kill_seconds:.2f}s "
+        f"(recovery overhead ~{recovery:.2f}s, "
+        f"{trainer._parallel.total_restarts} restart(s))"
+    )
+
+    if len(set(trajectories.values())) != 1:
+        print(f"FAIL: trajectories diverged across runs: {trajectories}")
+        return 1
+    if summary["restarts_during_kill_run"] != 1:
+        print("FAIL: kill run did not record exactly one worker restart")
+        return 1
+    summary["bit_identical_across_runs"] = True
+    summary["note"] = (
+        "At committed dataset sizes per-shard compute is small, so process "
+        "spawn and gradient IPC dominate and workers>1 adds wall-clock; the "
+        "bench exists to track that overhead and the recovery cost, and to "
+        "prove the trajectory never moves."
+    )
+
+    os.makedirs(os.path.dirname(BENCH_JSON), exist_ok=True)
+    with open(BENCH_JSON, "w", encoding="utf-8") as handle:
+        json.dump(
+            {"suite": "bench_parallel", "benchmarks": benchmarks, "summary": summary},
+            handle,
+            indent=2,
+        )
+    print(f"wrote {BENCH_JSON}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

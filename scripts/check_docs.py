@@ -27,6 +27,7 @@ DEFAULT_DOCS = [
     "README.md",
     "docs/API.md",
     "docs/OBSERVABILITY.md",
+    "docs/PARALLEL.md",
     "docs/PERF.md",
     "docs/ROBUSTNESS.md",
     "docs/SERVING.md",

@@ -216,6 +216,24 @@ def main() -> int:
         assert np.isfinite(sampled.history.phase1_loss).all()
         assert np.isfinite(sampled.logits).all()
 
+    def parallel_parity():
+        from repro.core import SESTrainer, fast_config
+        from repro.datasets import load_dataset
+        from repro.graph import classification_split
+
+        def graph():
+            return classification_split(
+                load_dataset("cora", scale=0.15, seed=0), seed=0
+            )
+
+        config = fast_config("gcn", explainable_epochs=3, predictive_epochs=2, seed=0)
+        single = SESTrainer(graph(), config).fit(workers=1)
+        dual = SESTrainer(graph(), config).fit(workers=2)
+        assert dual.history.phase1_loss == single.history.phase1_loss
+        assert dual.history.phase2_loss == single.history.phase2_loss
+        assert np.array_equal(dual.logits, single.logits)
+        assert dual.test_accuracy == single.test_accuracy
+
     def run_ses_batch_flag():
         import contextlib
         import io as stdlib_io
@@ -328,6 +346,7 @@ def main() -> int:
     check("serialisation round-trip", serialisation, results)
     check("crash-resume parity", crash_resume_parity, results)
     check("minibatch parity", minibatch_parity, results)
+    check("parallel parity (2 workers vs 1)", parallel_parity, results)
     check("run-ses --batch-size", run_ses_batch_flag, results)
     check("metrics registry", metrics_registry, results)
     check("serve smoke (snapshot -> HTTP)", serve_smoke, results)

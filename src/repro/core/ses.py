@@ -171,6 +171,199 @@ class SESResult:
         return sum(self.timings.values())
 
 
+def phase_parameters(model: SESModel, phase: str) -> List[Tensor]:
+    """The parameter list one phase optimises, in a stable order.
+
+    This single definition backs the per-phase optimizers *and* the
+    data-parallel gradient exchange (``repro.parallel``): supervisor and
+    workers must agree on the order or reduced gradients land on the wrong
+    parameters.
+    """
+    if phase == "explainable":
+        return list(model.encoder_parameters()) + list(model.mask_parameters())
+    if phase == "predictive":
+        return list(model.encoder_parameters())
+    raise ValueError(f"unknown training phase {phase!r}")
+
+
+@dataclass
+class Phase1BatchResult:
+    """Everything one phase-1 anchor-batch forward produces."""
+
+    loss: Tensor
+    probe: Optional[Tensor]
+    feature_mask: Tensor
+    structure_mask: Tensor
+    hidden: Tensor
+    logits: Tensor
+
+
+def phase1_batch_loss(
+    model: SESModel, config: SESConfig, graph: Graph, batch
+) -> Phase1BatchResult:
+    """Forward + loss for one phase-1 anchor batch (no backward, no step).
+
+    Shared by :meth:`SESTrainer._explainable_epoch_minibatch` and the
+    ``repro.parallel`` workers.  The op sequence here is parity-critical:
+    it fixes the order of every dropout draw and every floating-point
+    reduction, which is what makes covering-batch runs bit-identical to
+    full-batch ones and parallel runs bit-identical at any worker count.
+    """
+    labels_local = graph.labels[batch.nodes]
+    train_local = graph.train_mask[batch.nodes]
+    batch_train = train_local & batch.anchor_mask()
+    has_train = bool(batch_train.any())
+    sub_features = Tensor(graph.features[batch.nodes])
+    hidden, representation, logits = model.encoder.forward_full(
+        sub_features, batch.edge_index, batch.num_local_nodes
+    )
+    scorer_input = (
+        representation
+        if config.structure_scorer_input == "representation"
+        else hidden
+    )
+    feature_mask = model.mask_generator.feature_mask(hidden)
+    structure_mask = model.mask_generator.structure_mask(
+        scorer_input, batch.khop_edges
+    )
+    negative_mask = model.mask_generator.negative_mask(
+        scorer_input, batch.negative_pairs
+    )
+    plain_xent = (
+        F.cross_entropy(logits, labels_local, mask=batch_train)
+        if has_train
+        else as_tensor(0.0)
+    )
+    centred = batch.khop_center_in_batch
+    if centred.all():
+        sub_structure, sub_khop = structure_mask, batch.khop_edges
+    else:
+        sub_structure = structure_mask[np.flatnonzero(centred)]
+        sub_khop = batch.khop_edges[:, centred]
+    sub_loss = subgraph_loss(
+        sub_structure,
+        negative_mask,
+        sub_khop,
+        batch.negative_pairs,
+        labels=labels_local,
+        train_mask=train_local,
+        target_mode=config.subgraph_target,
+    )
+    masked_xent = None
+    probe = None
+    if config.use_masked_xent and has_train:
+        masked_features = (
+            sub_features * feature_mask
+            if config.use_feature_mask
+            else sub_features
+        )
+        # A zero additive probe exposes the per-edge sensitivity of the
+        # masked loss (probe.grad = dL/dw_e) without changing the forward;
+        # accumulated over the second half of training it becomes the
+        # sensitivity component of E_sub (config.structure_explanation).
+        probe = Tensor(
+            np.zeros(batch.khop_edges.shape[1]), requires_grad=True
+        )
+        masked_logits = model.encoder(
+            masked_features,
+            batch.khop_edges,
+            batch.num_local_nodes,
+            edge_weight=structure_mask + probe,
+        )
+        masked_xent = F.cross_entropy(
+            masked_logits, labels_local, mask=batch_train
+        )
+    loss = explainable_training_loss(
+        plain_xent, masked_xent, sub_loss, config.alpha,
+        sub_loss_weight=config.sub_loss_weight,
+    )
+    return Phase1BatchResult(
+        loss=loss,
+        probe=probe,
+        feature_mask=feature_mask,
+        structure_mask=structure_mask,
+        hidden=hidden,
+        logits=logits,
+    )
+
+
+@dataclass
+class Phase2BatchResult:
+    """One phase-2 anchor-batch forward; ``loss is None`` = nothing to optimise."""
+
+    loss: Optional[Tensor]
+    representation: Tensor
+    logits: Tensor
+    anchor: Optional[Tensor]
+    positive: Optional[Tensor]
+    negative: Optional[Tensor]
+
+
+def phase2_batch_loss(
+    model: SESModel,
+    config: SESConfig,
+    graph: Graph,
+    batch,
+    features_data: np.ndarray,
+    edge_weight_data: Optional[np.ndarray],
+) -> Phase2BatchResult:
+    """Forward + loss for one phase-2 anchor batch under the frozen masks.
+
+    ``features_data``/``edge_weight_data`` are the *full-graph* masked
+    constants (Eq. 10); the batch sees row/column slices of them.  Shared by
+    the minibatch loop and the parallel workers — see
+    :func:`phase1_batch_loss` for why the op order is pinned.
+    """
+    labels_local = graph.labels[batch.nodes]
+    batch_train = graph.train_mask[batch.nodes] & batch.anchor_mask()
+    features_local = Tensor(features_data[batch.nodes])
+    weight_local = (
+        as_tensor(edge_weight_data[batch.edge_positions])
+        if edge_weight_data is not None
+        else None
+    )
+    _, representation, logits = model.encoder.forward_full(
+        features_local, batch.edge_index, batch.num_local_nodes,
+        edge_weight=weight_local,
+    )
+    xent = None
+    if config.use_xent_in_phase2 and batch_train.any():
+        xent = F.cross_entropy(logits, labels_local, mask=batch_train)
+    triplet = None
+    anchor = positive = negative = None
+    pooled = batch.pooled
+    if pooled is not None and len(pooled[0]) > 0:
+        anchors_l, pos_index, pos_segment, neg_index, neg_segment = pooled
+        num_anchors = len(anchors_l)
+        pool = (
+            segment_mean
+            if config.triplet_pooling == "mean"
+            else segment_sum
+        )
+        positive = pool(
+            gather_rows(representation, pos_index),
+            pos_segment, num_anchors,
+        )
+        negative = pool(
+            gather_rows(representation, neg_index),
+            neg_segment, num_anchors,
+        )
+        anchor = gather_rows(representation, anchors_l)
+        triplet = F.triplet_margin_loss(
+            anchor, positive, negative, margin=config.margin
+        )
+    if triplet is None and xent is None:
+        return Phase2BatchResult(
+            loss=None, representation=representation, logits=logits,
+            anchor=None, positive=None, negative=None,
+        )
+    loss = predictive_learning_loss(triplet, xent, config.beta)
+    return Phase2BatchResult(
+        loss=loss, representation=representation, logits=logits,
+        anchor=anchor, positive=positive, negative=negative,
+    )
+
+
 class SESTrainer:
     """Runs the full SES pipeline of Algorithm 2 on one graph."""
 
@@ -247,6 +440,11 @@ class SESTrainer:
         # covering batch (batch_size >= N) extracts once, not once per epoch.
         self._sampler: Optional[AnchorBatchSampler] = None
         self._batch_cache: Dict[Tuple, object] = {}
+        # Data-parallel mode (docs/PARALLEL.md): a WorkerSupervisor shards
+        # anchor batches across spawned processes and reduces gradients in a
+        # fixed order; None means single-process training.  Mutually
+        # exclusive with minibatch mode.
+        self._parallel = None
         self._checkpoint_every = 0
         self._checkpoint_dir: Optional[Path] = None
         self._checkpoint_keep = 3
@@ -328,6 +526,12 @@ class SESTrainer:
         batch_size = int(batch_size)
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if self._parallel is not None:
+            raise ValueError(
+                "trainer is configured for parallel training (workers="
+                f"{self._parallel.config.workers}); minibatch and parallel "
+                "modes are mutually exclusive"
+            )
         if self._sampler is not None:
             if self._sampler.batch_size != batch_size:
                 raise ValueError(
@@ -350,6 +554,98 @@ class SESTrainer:
     def batch_size(self) -> Optional[int]:
         """Configured anchors per batch; ``None`` in full-batch mode."""
         return None if self._sampler is None else self._sampler.batch_size
+
+    # ------------------------------------------------------------------
+    # Data-parallel mode (docs/PARALLEL.md)
+    # ------------------------------------------------------------------
+    def configure_parallel(
+        self,
+        workers: int,
+        shards: Optional[int] = None,
+        heartbeat_interval: Optional[float] = None,
+        heartbeat_timeout: Optional[float] = None,
+        max_restarts: Optional[int] = None,
+        restart_backoff: Optional[float] = None,
+    ) -> None:
+        """Enable fault-tolerant data-parallel training with ``workers``.
+
+        The shard structure (``shards`` anchor partitions, default 4) is
+        fixed independently of the worker count, so the training trajectory
+        is bit-identical at any ``workers`` — including ``workers=1``, which
+        runs the identical shard computations in-process and serves as the
+        single-process parity reference.  Workers are spawned lazily at the
+        first parallel epoch.
+        """
+        from ..parallel import ParallelConfig, WorkerSupervisor
+
+        workers = int(workers)
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if self._sampler is not None:
+            raise ValueError(
+                f"trainer already configured with batch_size="
+                f"{self._sampler.batch_size}; minibatch and parallel modes "
+                "are mutually exclusive"
+            )
+        overrides = {
+            key: value
+            for key, value in (
+                ("shards", shards),
+                ("heartbeat_interval", heartbeat_interval),
+                ("heartbeat_timeout", heartbeat_timeout),
+                ("max_restarts", max_restarts),
+                ("restart_backoff", restart_backoff),
+            )
+            if value is not None
+        }
+        if self._parallel is not None:
+            current = self._parallel.config
+            if current.workers != workers or (
+                shards is not None and current.shards != int(shards)
+            ):
+                raise ValueError(
+                    f"trainer already configured with workers="
+                    f"{current.workers}, shards={current.shards}; cannot "
+                    f"switch to workers={workers}"
+                    + (f", shards={shards}" if shards is not None else "")
+                )
+            return
+        config = ParallelConfig(workers=workers, **overrides)
+        self._parallel = WorkerSupervisor(
+            config,
+            num_anchors=self.num_nodes,
+            seed=self.config.seed,
+            init_factory=self._parallel_init,
+            fault_plan=self.faults,
+        )
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "metric",
+                name="parallel",
+                workers=config.workers,
+                shards=self._parallel.num_shards,
+            )
+
+    @property
+    def workers(self) -> Optional[int]:
+        """Configured worker count; ``None`` when not in parallel mode."""
+        return None if self._parallel is None else self._parallel.config.workers
+
+    def _parallel_init(self) -> Dict:
+        """Pickled once per worker spawn: everything a stateless shard
+        executor needs besides the per-epoch parameters and constants."""
+        return {
+            "graph": self.graph,
+            "config": self.config,
+            "khop_edges": self.khop_edges,
+            "negative_pairs": self.negative_pairs,
+            "seed": self.config.seed,
+        }
+
+    def shutdown_workers(self) -> None:
+        """Stop any spawned worker processes (no-op outside parallel mode)."""
+        if self._parallel is not None:
+            self._parallel.stop_workers()
 
     def _phase1_batch(self, anchors: np.ndarray):
         """Extract (or reuse) the phase-1 subgraph for one anchor batch."""
@@ -400,16 +696,11 @@ class SESTrainer:
         if optimizer is not None:
             return optimizer
         cfg = self.config
+        params = phase_parameters(self.model, phase)
         if phase == "explainable":
-            params = list(self.model.encoder_parameters()) + list(
-                self.model.mask_parameters()
-            )
             lr = cfg.learning_rate
-        elif phase == "predictive":
-            params = list(self.model.encoder_parameters())
-            lr = cfg.learning_rate * cfg.predictive_lr_scale
         else:
-            raise ValueError(f"unknown training phase {phase!r}")
+            lr = cfg.learning_rate * cfg.predictive_lr_scale
         optimizer = Adam(params, lr=lr, weight_decay=cfg.weight_decay)
         self._optimizers[phase] = optimizer
         return optimizer
@@ -448,7 +739,11 @@ class SESTrainer:
             while self._completed["explainable"] < epochs:
                 epoch = self._completed["explainable"]
                 self.faults.check_crash("explainable", epoch)
-                if self._sampler is not None:
+                if self._parallel is not None:
+                    body = lambda: self._explainable_epoch_parallel(  # noqa: E731
+                        epoch, epochs, snapshot_set, callback
+                    )
+                elif self._sampler is not None:
                     body = lambda: self._explainable_epoch_minibatch(  # noqa: E731
                         epoch, epochs, snapshot_set, callback
                     )
@@ -619,74 +914,13 @@ class SESTrainer:
         with self.recorder.span(f"epoch{epoch}"):
             for index, anchors in enumerate(batches):
                 batch = self._phase1_batch(anchors)
-                labels_local = graph.labels[batch.nodes]
-                train_local = graph.train_mask[batch.nodes]
-                batch_train = train_local & batch.anchor_mask()
-                has_train = bool(batch_train.any())
                 optimizer.zero_grad()
                 with self.recorder.span(f"batch{index}"):
-                    sub_features = Tensor(graph.features[batch.nodes])
-                    hidden, representation, logits = model.encoder.forward_full(
-                        sub_features, batch.edge_index, batch.num_local_nodes
-                    )
-                    scorer_input = (
-                        representation
-                        if cfg.structure_scorer_input == "representation"
-                        else hidden
-                    )
-                    feature_mask = model.mask_generator.feature_mask(hidden)
-                    structure_mask = model.mask_generator.structure_mask(
-                        scorer_input, batch.khop_edges
-                    )
-                    negative_mask = model.mask_generator.negative_mask(
-                        scorer_input, batch.negative_pairs
-                    )
-                    plain_xent = (
-                        F.cross_entropy(logits, labels_local, mask=batch_train)
-                        if has_train
-                        else as_tensor(0.0)
-                    )
-                    centred = batch.khop_center_in_batch
-                    if centred.all():
-                        sub_structure, sub_khop = structure_mask, batch.khop_edges
-                    else:
-                        sub_structure = structure_mask[np.flatnonzero(centred)]
-                        sub_khop = batch.khop_edges[:, centred]
-                    sub_loss = subgraph_loss(
-                        sub_structure,
-                        negative_mask,
-                        sub_khop,
-                        batch.negative_pairs,
-                        labels=labels_local,
-                        train_mask=train_local,
-                        target_mode=cfg.subgraph_target,
-                    )
-                    masked_xent = None
-                    probe = None
-                    if cfg.use_masked_xent and has_train:
-                        masked_features = (
-                            sub_features * feature_mask
-                            if cfg.use_feature_mask
-                            else sub_features
-                        )
-                        probe = Tensor(
-                            np.zeros(batch.khop_edges.shape[1]), requires_grad=True
-                        )
-                        masked_logits = model.encoder(
-                            masked_features,
-                            batch.khop_edges,
-                            batch.num_local_nodes,
-                            edge_weight=structure_mask + probe,
-                        )
-                        masked_xent = F.cross_entropy(
-                            masked_logits, labels_local, mask=batch_train
-                        )
-                    loss = explainable_training_loss(
-                        plain_xent, masked_xent, sub_loss, cfg.alpha,
-                        sub_loss_weight=cfg.sub_loss_weight,
-                    )
-                    loss.backward()
+                    result = phase1_batch_loss(model, cfg, graph, batch)
+                    result.loss.backward()
                 optimizer.step()
+                loss, probe = result.loss, result.probe
+                feature_mask, structure_mask = result.feature_mask, result.structure_mask
                 losses.append(loss.item())
                 if probe is not None and probe.grad is not None and epoch >= epochs // 2:
                     self._edge_sensitivity[batch.khop_positions] += np.maximum(
@@ -703,7 +937,7 @@ class SESTrainer:
                     )
                     self.monitors.observe_activations(
                         "explainable", epoch,
-                        hidden=hidden.data, logits=logits.data,
+                        hidden=result.hidden.data, logits=result.logits.data,
                     )
         if self.monitors:
             self.monitors.after_backward(
@@ -733,6 +967,89 @@ class SESTrainer:
             )
         if epoch in snapshot_set:
             # Batches only see mask slices, so snapshots come from a full
+            # eval-mode scoring pass (no RNG draws — parity is unaffected).
+            self.history.mask_snapshots[epoch] = self._score_masks_eval()
+        if callback is not None:
+            callback(epoch, epoch_loss)
+        return epoch_loss
+
+    def _explainable_epoch_parallel(
+        self,
+        epoch: int,
+        epochs: int,
+        snapshot_set: set,
+        callback: Optional[Callable[[int, float], None]],
+    ) -> float:
+        """One phase-1 epoch sharded across the worker pool (docs/PARALLEL.md).
+
+        Workers compute per-shard losses and gradients under derived dropout
+        streams; the supervisor reduces them in fixed shard order and the
+        trainer applies one aggregated optimizer step per epoch.  The
+        trajectory depends only on the shard structure — never on the worker
+        count, restarts, or degradation.
+        """
+        cfg = self.config
+        graph, model = self.graph, self.model
+        optimizer = self._optimizer("explainable")
+        supervisor = self._parallel
+        if cfg.resample_negatives and epoch > 0:
+            self._resample_negatives()
+            supervisor.invalidate_constants()
+        model.train()
+        self.monitors.set_context(phase="explainable", epoch=epoch)
+        batches = supervisor.epoch_shards()
+        with self.recorder.span(f"epoch{epoch}"):
+            outcome = supervisor.run_epoch(
+                "explainable",
+                epoch,
+                batches,
+                params=[p.data.copy() for p in phase_parameters(model, "explainable")],
+                constants={"negative_pairs": self.negative_pairs},
+            )
+            optimizer.zero_grad()
+            if outcome.num_contributing:
+                for param, grad in zip(
+                    phase_parameters(model, "explainable"), outcome.grads
+                ):
+                    param.grad = grad
+                optimizer.step()
+        if epoch >= epochs // 2:
+            # Shard order is fixed, so the accumulation order (and therefore
+            # the floating-point sum) matches the in-process reference.
+            for positions, grad in outcome.probes:
+                self._edge_sensitivity[positions] += np.maximum(-grad, 0.0)
+        if self.monitors:
+            self.monitors.after_backward(
+                "explainable", epoch, self.model.named_parameters()
+            )
+        _BATCHES_TOTAL.inc(len(batches), phase="explainable")
+        epoch_loss = outcome.loss
+        self.history.phase1_loss.append(epoch_loss)
+        if graph.val_mask is not None and graph.val_mask.any():
+            self.history.phase1_val_accuracy.append(
+                self._evaluate_plain(graph.val_mask)
+            )
+        if self.recorder.enabled:
+            self.recorder.epoch(
+                "explainable",
+                epoch,
+                epoch_loss,
+                val_accuracy=(
+                    self.history.phase1_val_accuracy[-1]
+                    if self.history.phase1_val_accuracy
+                    else None
+                ),
+                feature_mask_sparsity=float(
+                    outcome.feat_below / max(outcome.feat_total, 1)
+                ),
+                structure_mask_sparsity=float(
+                    outcome.struct_below / max(outcome.struct_total, 1)
+                ),
+                num_shards=len(batches),
+                num_workers=supervisor.alive_workers,
+            )
+        if epoch in snapshot_set:
+            # Shards only see mask slices, so snapshots come from a full
             # eval-mode scoring pass (no RNG draws — parity is unaffected).
             self.history.mask_snapshots[epoch] = self._score_masks_eval()
         if callback is not None:
@@ -846,7 +1163,7 @@ class SESTrainer:
         # pooled index arrays stay valid across rollbacks and resumes.
         pooled = (
             pooled_pair_indices(self.pairs, self.num_nodes)
-            if cfg.use_triplet and self._sampler is None
+            if cfg.use_triplet and self._sampler is None and self._parallel is None
             else None
         )
         with self.recorder.phase("predictive", self.stopwatch), \
@@ -856,7 +1173,11 @@ class SESTrainer:
             while self._completed["predictive"] < epochs:
                 epoch = self._completed["predictive"]
                 self.faults.check_crash("predictive", epoch)
-                if self._sampler is not None:
+                if self._parallel is not None:
+                    body = lambda: self._predictive_epoch_parallel(  # noqa: E731
+                        epoch, features, edge_weight, callback
+                    )
+                elif self._sampler is not None:
                     body = lambda: self._predictive_epoch_minibatch(  # noqa: E731
                         epoch, features, edge_weight, callback
                     )
@@ -996,67 +1317,36 @@ class SESTrainer:
         with self.recorder.span(f"epoch{epoch}"):
             for index, anchors in enumerate(batches):
                 batch = self._phase2_batch(anchors)
-                labels_local = graph.labels[batch.nodes]
-                batch_train = graph.train_mask[batch.nodes] & batch.anchor_mask()
-                features_local = Tensor(features.data[batch.nodes])
-                weight_local = (
-                    as_tensor(edge_weight.data[batch.edge_positions])
-                    if edge_weight is not None
-                    else None
-                )
-                anchor = positive = negative = None
                 optimizer.zero_grad()
                 with self.recorder.span(f"batch{index}"):
-                    _, representation, logits = model.encoder.forward_full(
-                        features_local, batch.edge_index, batch.num_local_nodes,
-                        edge_weight=weight_local,
+                    result = phase2_batch_loss(
+                        model, cfg, graph, batch,
+                        features.data,
+                        edge_weight.data if edge_weight is not None else None,
                     )
-                    xent = None
-                    if cfg.use_xent_in_phase2 and batch_train.any():
-                        xent = F.cross_entropy(
-                            logits, labels_local, mask=batch_train
-                        )
-                    triplet = None
-                    pooled = batch.pooled
-                    if pooled is not None and len(pooled[0]) > 0:
-                        anchors_l, pos_index, pos_segment, neg_index, neg_segment = pooled
-                        num_anchors = len(anchors_l)
-                        pool = (
-                            segment_mean
-                            if cfg.triplet_pooling == "mean"
-                            else segment_sum
-                        )
-                        positive = pool(
-                            gather_rows(representation, pos_index),
-                            pos_segment, num_anchors,
-                        )
-                        negative = pool(
-                            gather_rows(representation, neg_index),
-                            neg_segment, num_anchors,
-                        )
-                        anchor = gather_rows(representation, anchors_l)
-                        triplet = F.triplet_margin_loss(
-                            anchor, positive, negative, margin=cfg.margin
-                        )
-                    if triplet is None and xent is None:
+                    if result.loss is None:
                         # Nothing to optimise in this batch (no train anchors
                         # and no pair sets): skip the step rather than feed
                         # an empty loss to the optimizer.
                         continue
-                    loss = predictive_learning_loss(triplet, xent, cfg.beta)
-                    loss.backward()
+                    result.loss.backward()
                 optimizer.step()
-                losses.append(loss.item())
+                losses.append(result.loss.item())
                 if self.monitors:
                     self.monitors.observe_activations(
                         "predictive", epoch,
-                        representation=representation.data, logits=logits.data,
+                        representation=result.representation.data,
+                        logits=result.logits.data,
                     )
-                    if anchor is not None:
+                    if result.anchor is not None:
                         self.monitors.observe_triplet(
                             "predictive", epoch,
-                            np.linalg.norm(anchor.data - positive.data, axis=1),
-                            np.linalg.norm(anchor.data - negative.data, axis=1),
+                            np.linalg.norm(
+                                result.anchor.data - result.positive.data, axis=1
+                            ),
+                            np.linalg.norm(
+                                result.anchor.data - result.negative.data, axis=1
+                            ),
                             cfg.margin,
                         )
         if self.monitors:
@@ -1088,6 +1378,90 @@ class SESTrainer:
                 ),
                 num_batches=len(batches),
                 batch_size=self._sampler.batch_size,
+            )
+        if callback is not None:
+            callback(epoch, epoch_loss)
+        return epoch_loss
+
+    def _predictive_epoch_parallel(
+        self,
+        epoch: int,
+        features: Tensor,
+        edge_weight: Optional[Tensor],
+        callback: Optional[Callable[[int, float], None]],
+    ) -> float:
+        """One phase-2 epoch sharded across the worker pool.
+
+        The frozen-mask constants (full-graph masked features and base-edge
+        weights) ship to workers once per constants version; per-shard pooled
+        pair tuples are computed supervisor-side because the pair sets live
+        with the trainer.
+        """
+        cfg = self.config
+        graph, model = self.graph, self.model
+        optimizer = self._optimizer("predictive")
+        supervisor = self._parallel
+        model.train()
+        self.monitors.set_context(phase="predictive", epoch=epoch)
+        batches = supervisor.epoch_shards()
+        empty = np.empty(0, dtype=np.int64)
+        if cfg.use_triplet and self.pairs is not None:
+            extras = [
+                pooled_pair_indices(self.pairs, self.num_nodes, anchors=anchors)
+                for anchors in batches
+            ]
+        else:
+            extras = [(empty, empty, empty, empty, empty) for _ in batches]
+        with self.recorder.span(f"epoch{epoch}"):
+            outcome = supervisor.run_epoch(
+                "predictive",
+                epoch,
+                batches,
+                params=[p.data.copy() for p in phase_parameters(model, "predictive")],
+                constants={
+                    "features_data": features.data,
+                    "edge_weight_data": (
+                        edge_weight.data if edge_weight is not None else None
+                    ),
+                },
+                shard_extras=extras,
+            )
+            optimizer.zero_grad()
+            if outcome.num_contributing:
+                for param, grad in zip(
+                    phase_parameters(model, "predictive"), outcome.grads
+                ):
+                    param.grad = grad
+                optimizer.step()
+        if self.monitors:
+            self.monitors.after_backward(
+                "predictive", epoch, self.model.encoder.named_parameters()
+            )
+        _BATCHES_TOTAL.inc(len(batches), phase="predictive")
+        epoch_loss = outcome.loss
+        self.history.phase2_loss.append(epoch_loss)
+        if graph.val_mask is not None and graph.val_mask.any():
+            masked_val = self._evaluate_masked(graph.val_mask)
+            plain_val = self._evaluate_plain(graph.val_mask)
+            self.history.phase2_val_accuracy.append(max(masked_val, plain_val))
+            if cfg.keep_best and max(masked_val, plain_val) > self._best_val:
+                self._best_val = max(masked_val, plain_val)
+                self._best_state = model.state_dict()
+                self._best_readout = (
+                    "masked" if masked_val >= plain_val else "plain"
+                )
+        if self.recorder.enabled:
+            self.recorder.epoch(
+                "predictive",
+                epoch,
+                epoch_loss,
+                val_accuracy=(
+                    self.history.phase2_val_accuracy[-1]
+                    if self.history.phase2_val_accuracy
+                    else None
+                ),
+                num_shards=len(batches),
+                num_workers=supervisor.alive_workers,
             )
         if callback is not None:
             callback(epoch, epoch_loss)
@@ -1324,6 +1698,8 @@ class SESTrainer:
         checkpoint_dir: Optional[Union[str, Path]] = None,
         checkpoint_keep: int = 3,
         batch_size: Optional[int] = None,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> SESResult:
         """Run the full Algorithm 2 pipeline and collect results.
 
@@ -1337,9 +1713,20 @@ class SESTrainer:
         minibatches (docs/PERF.md); ``batch_size >= num_nodes`` reproduces
         the full-batch trajectory bit-for-bit, and resuming a minibatch run
         restores the sampler's RNG alongside the trainer state.
+        ``workers=N`` trains both phases data-parallel over ``shards`` fixed
+        anchor shards (docs/PARALLEL.md); the trajectory is bit-identical at
+        any worker count, and worker processes are shut down when fit
+        returns.  Mutually exclusive with ``batch_size``.
         """
+        if batch_size is not None and workers is not None:
+            raise ValueError(
+                "batch_size and workers are mutually exclusive; pick "
+                "minibatch or parallel training, not both"
+            )
         if batch_size is not None:
             self._configure_minibatch(batch_size)
+        if workers is not None:
+            self.configure_parallel(workers, shards=shards)
         if checkpoint_every > 0:
             if checkpoint_dir is None:
                 checkpoint_dir = Path("results") / "checkpoints" / (
@@ -1350,12 +1737,20 @@ class SESTrainer:
             self._checkpoint_keep = int(checkpoint_keep)
         if resume_from is not None:
             self.resume(resume_from)
-        self.train_explainable(epochs=explainable_epochs, snapshot_epochs=snapshot_epochs)
-        if self.pairs is None:
-            # Resume restores the pair sets; rebuilding them would consume
-            # RNG draws the uninterrupted run never made.
-            self.build_pairs()
-        self.train_predictive(epochs=predictive_epochs)
+        try:
+            self.train_explainable(
+                epochs=explainable_epochs, snapshot_epochs=snapshot_epochs
+            )
+            if self.pairs is None:
+                # Resume restores the pair sets; rebuilding them would consume
+                # RNG draws the uninterrupted run never made.
+                self.build_pairs()
+            self.train_predictive(epochs=predictive_epochs)
+        finally:
+            # Worker processes must not outlive the fit that spawned them —
+            # a SimulatedCrash (or any exception) would otherwise leak idle
+            # subprocesses into the parent.  Respawn on a later fit is lazy.
+            self.shutdown_workers()
         logits = self.final_logits()
         predictions = logits_to_predictions(logits)
         graph = self.graph

@@ -1,0 +1,30 @@
+"""Fault-tolerant data-parallel SES training (docs/PARALLEL.md).
+
+Shards anchor batches across ``multiprocessing`` workers, reduces gradients
+in a fixed-order tree so results are bit-identical to single-process
+training at any worker count, and treats worker failure as a first-class
+event: heartbeats, a liveness watchdog, bounded restarts with backoff, and
+deterministic degradation to a smaller pool.
+"""
+
+from .reduce import tree_reduce, tree_sum, tree_sum_arrays
+from .supervisor import (
+    EpochOutcome,
+    ParallelConfig,
+    ParallelTrainingError,
+    WorkerSupervisor,
+)
+from .worker import ShardContext, shard_dropout_rng, worker_main
+
+__all__ = [
+    "EpochOutcome",
+    "ParallelConfig",
+    "ParallelTrainingError",
+    "ShardContext",
+    "WorkerSupervisor",
+    "shard_dropout_rng",
+    "tree_reduce",
+    "tree_sum",
+    "tree_sum_arrays",
+    "worker_main",
+]

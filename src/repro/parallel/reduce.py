@@ -1,0 +1,67 @@
+"""Fixed-order tree reduction: the determinism core of ``repro.parallel``.
+
+Floating-point addition is not associative, so "sum the shard gradients"
+only reproduces bit-for-bit if the *shape* of the reduction is pinned.
+:func:`tree_reduce` combines items pairwise level by level; the combination
+tree depends only on ``len(items)`` — never on which worker produced a
+shard, in what order results arrived, or how many workers are alive.  With
+the shard structure itself fixed (``ParallelConfig.shards``), every run —
+any worker count, after any number of restarts, after degradation to a
+smaller pool — performs the identical sequence of float additions.
+
+A left fold (``sum``) would be equally deterministic; the tree is preferred
+because it matches how a real allreduce composes and keeps the rounding
+error growth logarithmic instead of linear in the shard count.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["tree_reduce", "tree_sum", "tree_sum_arrays"]
+
+T = TypeVar("T")
+
+
+def tree_reduce(items: Sequence[T], combine: Callable[[T, T], T]) -> T:
+    """Reduce ``items`` pairwise in a fixed-shape binary tree.
+
+    Level by level, neighbours ``(0,1), (2,3), ...`` are combined; an odd
+    trailing item is carried up unchanged.  The call sequence is a pure
+    function of ``len(items)``, so the result is bit-stable for any
+    non-associative ``combine`` (float addition included).
+    """
+    if not items:
+        raise ValueError("tree_reduce needs at least one item")
+    level = list(items)
+    while len(level) > 1:
+        reduced: List[T] = []
+        for index in range(0, len(level) - 1, 2):
+            reduced.append(combine(level[index], level[index + 1]))
+        if len(level) % 2:
+            reduced.append(level[-1])
+        level = reduced
+    return level[0]
+
+
+def tree_sum(values: Sequence[float]) -> float:
+    """Fixed-order scalar sum (see :func:`tree_reduce`)."""
+    return float(tree_reduce([float(v) for v in values], lambda a, b: a + b))
+
+
+def tree_sum_arrays(
+    grad_lists: Sequence[Sequence[np.ndarray]],
+) -> List[np.ndarray]:
+    """Fixed-order elementwise sum of per-shard gradient lists.
+
+    Each item is one shard's ``[grad_per_parameter, ...]`` list (all lists
+    the same length/shapes); the result is the tree-ordered elementwise sum.
+    """
+    return list(
+        tree_reduce(
+            [list(grads) for grads in grad_lists],
+            lambda a, b: [x + y for x, y in zip(a, b)],
+        )
+    )

@@ -1,0 +1,559 @@
+"""The :class:`WorkerSupervisor`: fault-tolerant data-parallel SES training.
+
+Architecture (docs/PARALLEL.md):
+
+* The **shard structure is fixed** at configure time: ``ParallelConfig.shards``
+  anchor partitions drawn by a dedicated :class:`AnchorBatchSampler` stream.
+  Workers are stateless executors that shards are *assigned* to — the
+  assignment never influences the numbers, so the training trajectory is
+  bit-identical at any worker count, across worker restarts, and after
+  degradation to a smaller pool.
+* Per epoch the supervisor ships the phase parameters (plus versioned
+  constants) to every worker, fans the shard tasks out round-robin, collects
+  per-shard gradients, and reduces them with a fixed-order tree
+  (:mod:`repro.parallel.reduce`).  The trainer applies one aggregated
+  optimizer step — supervisor-side, so optimizer state never leaves the
+  trainer.
+* **Worker failure is a first-class event**: workers heartbeat over a
+  monitored event queue; the liveness watchdog declares a worker dead when
+  its process exits and *hung* when heartbeats stop for longer than
+  ``heartbeat_timeout`` (a hung worker is terminated — it cannot be
+  trusted).  Failed workers restart with exponential backoff under a
+  bounded per-rank budget; a rank that exhausts its budget is dropped and
+  its shards re-dispatch deterministically to the survivors.  Only an empty
+  pool raises :class:`ParallelTrainingError` — the last resort, analogous
+  to ``TrainingDivergedError`` in the recovery policy.
+
+``workers=1`` runs the identical shard computations in-process through the
+same :class:`~repro.parallel.worker.ShardContext` code path — it is the
+single-process reference that the multi-worker runs are bit-compared
+against (``tests/parallel/``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph.minibatch import AnchorBatchSampler
+from ..obs.metrics import default_registry, exponential_buckets
+from .reduce import tree_sum, tree_sum_arrays
+from .worker import ShardContext, worker_main
+
+__all__ = [
+    "EpochOutcome",
+    "ParallelConfig",
+    "ParallelTrainingError",
+    "WorkerSupervisor",
+]
+
+# Parallel-runtime telemetry (docs/OBSERVABILITY.md): bound once at import,
+# exported as repro_parallel_* through the shared process registry.
+_METRICS = default_registry()
+_WORKERS_ALIVE = _METRICS.gauge(
+    "repro_parallel_workers_alive", "Live worker processes in the pool"
+)
+_RESTARTS_TOTAL = _METRICS.counter(
+    "repro_parallel_restarts_total", "Worker restarts by rank"
+)
+_FAILURES_TOTAL = _METRICS.counter(
+    "repro_parallel_worker_failures_total",
+    "Detected worker failures by kind (died / hung)",
+)
+_HEARTBEAT_AGE = _METRICS.gauge(
+    "repro_parallel_heartbeat_age_seconds",
+    "Seconds since each worker's last heartbeat",
+)
+_REDUCE_SECONDS = _METRICS.histogram(
+    "repro_parallel_reduce_seconds",
+    "Wall-clock seconds per fixed-order gradient tree reduction",
+    buckets=exponential_buckets(0.0001, 4.0, 8),
+)
+_SHARDS_TOTAL = _METRICS.counter(
+    "repro_parallel_shards_total", "Completed shard computations by phase"
+)
+
+
+class ParallelTrainingError(RuntimeError):
+    """Raised when the worker pool can no longer make progress.
+
+    The parallel analogue of ``TrainingDivergedError``: every rank has
+    exhausted its restart budget (or a worker surfaced an unrecoverable
+    exception), so the supervisor fails the epoch loudly rather than
+    silently stalling.
+    """
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Static configuration of one worker pool.
+
+    ``shards`` fixes the reduction structure independently of ``workers`` —
+    see the module docstring for why that is the determinism anchor.
+    """
+
+    workers: int
+    shards: int = 4
+    heartbeat_interval: float = 0.2
+    heartbeat_timeout: float = 10.0
+    max_restarts: int = 2
+    restart_backoff: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.workers <= 0:
+            raise ValueError(f"workers must be positive, got {self.workers}")
+        if self.shards <= 0:
+            raise ValueError(f"shards must be positive, got {self.shards}")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise ValueError(
+                "heartbeat_timeout must exceed heartbeat_interval "
+                f"({self.heartbeat_timeout} <= {self.heartbeat_interval})"
+            )
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.restart_backoff < 0:
+            raise ValueError("restart_backoff must be >= 0")
+
+
+@dataclass
+class EpochOutcome:
+    """One parallel epoch's aggregated result (shard-order deterministic)."""
+
+    loss: float
+    grads: Optional[List[np.ndarray]]
+    num_contributing: int
+    num_shards: int
+    reduce_seconds: float
+    probes: List[Tuple[np.ndarray, np.ndarray]] = field(default_factory=list)
+    feat_below: int = 0
+    feat_total: int = 0
+    struct_below: int = 0
+    struct_total: int = 0
+
+
+class _WorkerHandle:
+    """Supervisor-side view of one spawned worker process."""
+
+    def __init__(self, rank: int, process, task_queue) -> None:
+        self.rank = rank
+        self.process = process
+        self.task_queue = task_queue
+        self.last_seen = time.monotonic()
+        self.constants_version = -1
+
+
+class WorkerSupervisor:
+    """Shards anchor batches across workers with deterministic reduction."""
+
+    def __init__(
+        self,
+        config: ParallelConfig,
+        num_anchors: int,
+        seed: int,
+        init_factory: Callable[[], Dict],
+        fault_plan=None,
+    ) -> None:
+        self.config = config
+        self.seed = int(seed)
+        self._init_factory = init_factory
+        # ceil(N / shards) anchors per shard; the sampler's dedicated RNG
+        # stream keeps shard draws out of the trainer's generator exactly as
+        # in minibatch mode.  num_shards (== sampler.num_batches) may come
+        # out below the requested count on tiny graphs.
+        batch_size = -(-int(num_anchors) // config.shards)
+        self.sampler = AnchorBatchSampler(num_anchors, batch_size, seed=self.seed)
+        self._worker_specs = list(fault_plan.worker_specs()) if fault_plan else []
+        self._consumed_specs: set = set()
+        self._version = 0
+        self._last_phase: Optional[str] = None
+        self._inline: Optional[ShardContext] = None
+        self._inline_version = -1
+        self._context = multiprocessing.get_context("spawn")
+        self._event_queue = None
+        self._handles: Dict[int, _WorkerHandle] = {}
+        self._dead_ranks: set = set()
+        self._restarts: Counter = Counter()
+        self._started = False
+        # Cumulative across pool restarts (stop_workers resets the per-rank
+        # budgets, not these) — what CLI summaries, benchmarks and tests read.
+        self.total_restarts = 0
+        self.total_failures = 0
+        self.degraded_ranks: set = set()
+        # Wall-clock spent inside failure handling (detect -> replacement
+        # dispatched or shards redistributed), summed over all failures.
+        self.recovery_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        """Fixed shard count (the reduction width)."""
+        return self.sampler.num_batches
+
+    @property
+    def alive_workers(self) -> int:
+        """Workers currently in the pool (1 in in-process mode)."""
+        if self.config.workers == 1:
+            return 1
+        if not self._started:
+            return self.config.workers - len(self._dead_ranks)
+        return len(self._handles)
+
+    def state_manifest(self) -> Dict:
+        """JSON-safe parallel state for the training-snapshot manifest."""
+        return {
+            "workers": self.config.workers,
+            "shards": self.config.shards,
+            "sampler": self.sampler.state_dict(),
+        }
+
+    def epoch_shards(self) -> List[np.ndarray]:
+        """This epoch's anchor shards (deterministic sampler stream)."""
+        return self.sampler.epoch_batches()
+
+    def invalidate_constants(self) -> None:
+        """Force constants to re-ship (negative resample, snapshot restore)."""
+        self._version += 1
+
+    # ------------------------------------------------------------------
+    # Epoch execution
+    # ------------------------------------------------------------------
+    def run_epoch(
+        self,
+        phase: str,
+        epoch: int,
+        batches: Sequence[np.ndarray],
+        params: List[np.ndarray],
+        constants: Dict,
+        shard_extras: Optional[Sequence] = None,
+    ) -> EpochOutcome:
+        """Compute all shards of one epoch and reduce in fixed shard order."""
+        if phase != self._last_phase:
+            # Phase constants differ (negative pairs vs frozen-mask inputs);
+            # bumping the version makes every worker refresh on first touch.
+            self._version += 1
+            self._last_phase = phase
+        tasks = [
+            (
+                shard_id,
+                anchors,
+                shard_extras[shard_id] if shard_extras is not None else None,
+            )
+            for shard_id, anchors in enumerate(batches)
+        ]
+        if self.config.workers == 1:
+            payloads = self._run_epoch_inline(phase, epoch, tasks, params, constants)
+        else:
+            payloads = self._run_epoch_pool(phase, epoch, tasks, params, constants)
+        _SHARDS_TOTAL.inc(len(tasks), phase=phase)
+        return self._reduce(phase, payloads)
+
+    def _run_epoch_inline(
+        self, phase: str, epoch: int, tasks, params, constants
+    ) -> List[Dict]:
+        """``workers=1``: the same ShardContext code path, no processes."""
+        if self._inline is None:
+            self._inline = ShardContext(self._init_factory())
+        ship = constants if self._inline_version != self._version else None
+        self._inline.begin_epoch(phase, epoch, params, self._version, ship)
+        self._inline_version = self._version
+        return [
+            self._inline.compute(phase, epoch, shard_id, anchors, extra)
+            for shard_id, anchors, extra in tasks
+        ]
+
+    # ------------------------------------------------------------------
+    # Worker-pool path
+    # ------------------------------------------------------------------
+    def _unconsumed_specs(self) -> List:
+        return [
+            spec
+            for index, spec in enumerate(self._worker_specs)
+            if index not in self._consumed_specs
+        ]
+
+    def _consume_worker_faults(self, rank: int, phase: str, epoch: int) -> None:
+        """Mark worker faults plausibly responsible for this failure as spent.
+
+        The restarted worker receives only still-unconsumed specs, so a
+        one-shot ``kill_worker``/``hang_worker`` cannot re-fire after the
+        recovery it was injected to exercise.
+        """
+        for index, spec in enumerate(self._worker_specs):
+            if index in self._consumed_specs or spec.rank != rank:
+                continue
+            if spec.phase in ("any", phase) and spec.epoch <= epoch:
+                self._consumed_specs.add(index)
+
+    def _spawn(self, rank: int) -> _WorkerHandle:
+        init = dict(self._init_factory())
+        init["fault_specs"] = self._unconsumed_specs()
+        task_queue = self._context.Queue()
+        process = self._context.Process(
+            target=worker_main,
+            args=(
+                rank,
+                init,
+                task_queue,
+                self._event_queue,
+                self.config.heartbeat_interval,
+            ),
+            name=f"repro-parallel-w{rank}",
+            daemon=True,
+        )
+        process.start()
+        handle = _WorkerHandle(rank, process, task_queue)
+        self._handles[rank] = handle
+        _WORKERS_ALIVE.set(len(self._handles))
+        return handle
+
+    def _ensure_started(self) -> None:
+        if self._started:
+            return
+        self._event_queue = self._context.Queue()
+        self._dead_ranks = set()
+        self._restarts = Counter()
+        for rank in range(self.config.workers):
+            self._spawn(rank)
+        self._started = True
+
+    def _send_epoch(
+        self, handle: _WorkerHandle, phase: str, epoch: int, params, constants
+    ) -> None:
+        ship = constants if handle.constants_version != self._version else None
+        handle.task_queue.put(("epoch", phase, epoch, params, self._version, ship))
+        handle.constants_version = self._version
+
+    def _terminate(self, handle: _WorkerHandle) -> None:
+        process = handle.process
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=1.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=1.0)
+        # The dead worker never drains its queue; without cancel_join_thread
+        # the feeder thread would block interpreter exit on the buffered data.
+        handle.task_queue.cancel_join_thread()
+        handle.task_queue.close()
+
+    def _run_epoch_pool(
+        self, phase: str, epoch: int, tasks, params, constants
+    ) -> List[Dict]:
+        self._ensure_started()
+        if not self._handles:
+            raise ParallelTrainingError(
+                "worker pool is empty: every rank exhausted its restart budget"
+            )
+        owner: Dict[int, int] = {}
+        results: Dict[int, Dict] = {}
+        # Round-robin assignment over the live ranks in sorted order —
+        # deterministic, though correctness never depends on it.
+        ranks = sorted(self._handles)
+        for handle in self._handles.values():
+            self._send_epoch(handle, phase, epoch, params, constants)
+        for index, (shard_id, anchors, extra) in enumerate(tasks):
+            rank = ranks[index % len(ranks)]
+            owner[shard_id] = rank
+            self._handles[rank].task_queue.put(
+                ("shard", phase, epoch, shard_id, anchors, extra)
+            )
+        poll = min(self.config.heartbeat_interval, 0.1)
+        while len(results) < len(tasks):
+            self._drain_events(phase, epoch, results, timeout=poll)
+            now = time.monotonic()
+            for rank in list(self._handles):
+                handle = self._handles[rank]
+                age = now - handle.last_seen
+                _HEARTBEAT_AGE.set(age, rank=str(rank))
+                if not handle.process.is_alive():
+                    self._on_worker_failure(
+                        rank, "died", phase, epoch, owner, results,
+                        tasks, params, constants,
+                    )
+                elif age > self.config.heartbeat_timeout:
+                    self._on_worker_failure(
+                        rank, "hung", phase, epoch, owner, results,
+                        tasks, params, constants,
+                    )
+        return [results[shard_id] for shard_id, _, _ in tasks]
+
+    def _drain_events(
+        self, phase: str, epoch: int, results: Dict[int, Dict], timeout: float
+    ) -> None:
+        """Consume pending worker events; block at most ``timeout`` once."""
+        import queue as queue_module
+
+        block = True
+        while True:
+            try:
+                event = self._event_queue.get(timeout=timeout if block else 0)
+            except queue_module.Empty:
+                return
+            block = False
+            kind = event[0]
+            if kind in ("heartbeat", "hello"):
+                rank = event[1]
+                handle = self._handles.get(rank)
+                if handle is not None:
+                    handle.last_seen = time.monotonic()
+            elif kind == "result":
+                _, rank, result_phase, result_epoch, shard_id, payload = event
+                handle = self._handles.get(rank)
+                if handle is not None:
+                    handle.last_seen = time.monotonic()
+                if result_phase == phase and result_epoch == epoch:
+                    # Duplicates (a slow worker finishing a re-dispatched
+                    # shard) are byte-identical by construction; last write
+                    # wins and the count stays correct.
+                    results[shard_id] = payload
+            elif kind == "error":
+                _, rank, trace = event
+                raise ParallelTrainingError(
+                    f"worker {rank} raised an unrecoverable exception:\n{trace}"
+                )
+
+    def _on_worker_failure(
+        self,
+        rank: int,
+        kind: str,
+        phase: str,
+        epoch: int,
+        owner: Dict[int, int],
+        results: Dict[int, Dict],
+        tasks,
+        params,
+        constants,
+    ) -> None:
+        """Dead/hung worker: reclaim shards, restart under budget, or degrade."""
+        recovery_start = time.perf_counter()
+        try:
+            self._handle_worker_failure(
+                rank, kind, phase, epoch, owner, results, tasks, params, constants
+            )
+        finally:
+            self.recovery_seconds += time.perf_counter() - recovery_start
+
+    def _handle_worker_failure(
+        self,
+        rank: int,
+        kind: str,
+        phase: str,
+        epoch: int,
+        owner: Dict[int, int],
+        results: Dict[int, Dict],
+        tasks,
+        params,
+        constants,
+    ) -> None:
+        handle = self._handles.pop(rank)
+        exitcode = handle.process.exitcode
+        self._terminate(handle)
+        _FAILURES_TOTAL.inc(kind=kind)
+        _WORKERS_ALIVE.set(len(self._handles))
+        self.total_failures += 1
+        self._consume_worker_faults(rank, phase, epoch)
+        orphans = [
+            (shard_id, anchors, extra)
+            for shard_id, anchors, extra in tasks
+            if owner.get(shard_id) == rank and shard_id not in results
+        ]
+        attempts = self._restarts[rank]
+        if attempts < self.config.max_restarts:
+            # Exponential backoff before the restart: a crash loop caused by
+            # the environment (OOM, bad node) should not spin at full speed.
+            delay = self.config.restart_backoff * (2 ** attempts)
+            if delay > 0:
+                time.sleep(delay)
+            self._restarts[rank] += 1
+            self.total_restarts += 1
+            _RESTARTS_TOTAL.inc(rank=str(rank))
+            replacement = self._spawn(rank)
+            self._send_epoch(replacement, phase, epoch, params, constants)
+            for shard_id, anchors, extra in orphans:
+                owner[shard_id] = rank
+                replacement.task_queue.put(
+                    ("shard", phase, epoch, shard_id, anchors, extra)
+                )
+            return
+        # Budget exhausted: degrade to a smaller pool.  Shard contents and
+        # reduction order are worker-independent, so the numbers do not move.
+        self._dead_ranks.add(rank)
+        self.degraded_ranks.add(rank)
+        survivors = sorted(self._handles)
+        if not survivors:
+            raise ParallelTrainingError(
+                f"worker {rank} {kind} (exitcode={exitcode}) with restart "
+                f"budget exhausted and no surviving workers — cannot finish "
+                f"{phase} epoch {epoch}"
+            )
+        for index, (shard_id, anchors, extra) in enumerate(orphans):
+            new_rank = survivors[index % len(survivors)]
+            owner[shard_id] = new_rank
+            self._handles[new_rank].task_queue.put(
+                ("shard", phase, epoch, shard_id, anchors, extra)
+            )
+
+    # ------------------------------------------------------------------
+    # Reduction
+    # ------------------------------------------------------------------
+    def _reduce(self, phase: str, payloads: List[Dict]) -> EpochOutcome:
+        """Fixed-order tree reduction of per-shard losses and gradients."""
+        start = time.perf_counter()
+        contributing = [p for p in payloads if p["loss"] is not None]
+        if contributing:
+            denominator = float(len(contributing))
+            summed = tree_sum_arrays([p["grads"] for p in contributing])
+            grads = [g / denominator for g in summed]
+            loss = tree_sum([p["loss"] for p in contributing]) / denominator
+        else:
+            grads = None
+            loss = 0.0
+        outcome = EpochOutcome(
+            loss=float(loss),
+            grads=grads,
+            num_contributing=len(contributing),
+            num_shards=len(payloads),
+            reduce_seconds=time.perf_counter() - start,
+        )
+        if phase == "explainable":
+            for payload in payloads:  # shard order == accumulation order
+                if payload.get("probe_grad") is not None:
+                    outcome.probes.append(
+                        (payload["khop_positions"], payload["probe_grad"])
+                    )
+                outcome.feat_below += payload.get("feat_below", 0)
+                outcome.feat_total += payload.get("feat_total", 0)
+                outcome.struct_below += payload.get("struct_below", 0)
+                outcome.struct_total += payload.get("struct_total", 0)
+        _REDUCE_SECONDS.observe(outcome.reduce_seconds)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def stop_workers(self) -> None:
+        """Stop all worker processes; the next epoch respawns a fresh pool."""
+        for handle in self._handles.values():
+            try:
+                handle.task_queue.put(("stop",))
+            except (ValueError, OSError):
+                pass
+        deadline = time.monotonic() + 3.0
+        for handle in self._handles.values():
+            handle.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            self._terminate(handle)
+        self._handles.clear()
+        self._dead_ranks = set()
+        self._restarts = Counter()
+        self._event_queue = None
+        self._started = False
+        _WORKERS_ALIVE.set(0)

@@ -1,0 +1,280 @@
+"""Worker side of data-parallel SES training: stateless shard executors.
+
+A worker owns a full model *replica* but no training state: every epoch the
+supervisor ships the current phase parameters (and, when they change, the
+phase constants — negative pairs for phase 1, frozen-mask inputs for phase
+2), and the worker answers per-shard tasks with the shard's loss, gradient
+list and telemetry counts.  Statelessness is what makes recovery trivial —
+a restarted worker is indistinguishable from the original because there is
+nothing to reconstruct beyond the next ``epoch_begin`` message.
+
+Determinism of dropout: a shard's forward draws from a dedicated stream
+``default_rng((seed, 0x9A71, phase, epoch, shard))`` derived from *shard*
+identity, never worker identity.  Any worker (or the supervisor's
+in-process path at ``workers=1``) computing shard ``s`` of epoch ``e``
+consumes the identical draws — across restarts, re-sharding and worker
+counts (docs/PARALLEL.md).
+
+Protocol (multiprocessing queues, spawn context):
+
+* task queue (per worker): ``("epoch", phase, epoch, params, version,
+  constants_or_None)``, ``("shard", phase, epoch, shard_id, anchors,
+  pooled_or_None)``, ``("stop",)``.
+* event queue (shared): ``("hello", rank, pid, t)``, ``("heartbeat", rank,
+  t)``, ``("result", rank, phase, epoch, shard_id, payload)``, ``("error",
+  rank, traceback_text)``.
+
+Heartbeats are emitted from the main loop — on idle queue timeouts and at
+task start — so a worker hung inside a task (or by ``hang_worker``) goes
+silent and only the supervisor's liveness watchdog can catch it.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_module
+import time
+import traceback
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.ses import (
+    SESModel,
+    phase1_batch_loss,
+    phase2_batch_loss,
+    phase_parameters,
+)
+from ..graph.minibatch import extract_phase1_batch, extract_phase2_batch
+from ..resilience.faults import WORKER_KINDS, FaultSpec
+from ..utils import make_rng
+
+__all__ = ["ShardContext", "shard_dropout_rng", "worker_main"]
+
+# Shard dropout streams derive from (seed, _PARALLEL_STREAM, ...) so they can
+# never collide with the trainer's make_rng(seed) stream or the sampler's
+# (seed, 0x5E5B) stream.
+_PARALLEL_STREAM = 0x9A71
+
+_PHASE_IDS = {"explainable": 0, "predictive": 1}
+
+
+def shard_dropout_rng(
+    seed: int, phase: str, epoch: int, shard_id: int
+) -> np.random.Generator:
+    """The dropout stream for one (phase, epoch, shard) — worker-independent."""
+    return np.random.default_rng(
+        (int(seed), _PARALLEL_STREAM, _PHASE_IDS[phase], int(epoch), int(shard_id))
+    )
+
+
+class ShardContext:
+    """Model replica + caches for computing per-shard losses and gradients.
+
+    Used verbatim by spawned worker processes *and* by the supervisor's
+    in-process path at ``workers=1`` — a single code path is the parity
+    argument: there is no "parallel numerics" to diverge from the reference.
+    """
+
+    def __init__(self, init: Dict) -> None:
+        self.graph = init["graph"]
+        self.config = init["config"]
+        self.khop_edges = init["khop_edges"]
+        self.negative_pairs = init["negative_pairs"]
+        self.seed = int(init["seed"])
+        # Replica construction draws from a fresh generator seeded exactly
+        # like the trainer's, so the initial weights match the supervisor's
+        # model; every epoch overwrites the phase parameters anyway.
+        self.model = SESModel(
+            self.graph.num_features,
+            self.graph.num_classes,
+            self.config,
+            rng=make_rng(self.config.seed),
+        )
+        self.model.train()
+        self._version = -1
+        self._features_data: Optional[np.ndarray] = None
+        self._edge_weight_data: Optional[np.ndarray] = None
+        self._cache: Dict[Tuple, object] = {}
+
+    # ------------------------------------------------------------------
+    def begin_epoch(
+        self,
+        phase: str,
+        epoch: int,
+        params: Sequence[np.ndarray],
+        version: int,
+        constants: Optional[Dict],
+    ) -> None:
+        """Load this epoch's parameters and (when versioned) constants."""
+        if version != self._version:
+            if constants is None:
+                raise RuntimeError(
+                    f"constants version {version} requested but none shipped "
+                    f"(have {self._version})"
+                )
+            if phase == "explainable":
+                self.negative_pairs = constants["negative_pairs"]
+            else:
+                self._features_data = constants["features_data"]
+                self._edge_weight_data = constants["edge_weight_data"]
+            self._version = version
+            # Cached subgraphs embed the old constants (negative pairs /
+            # pooled tuples from a previous pair build).
+            self._cache.clear()
+        for param, data in zip(phase_parameters(self.model, phase), params):
+            param.data = np.array(data, copy=True)
+
+    # ------------------------------------------------------------------
+    def _phase1_batch(self, anchors: np.ndarray):
+        key = ("phase1", anchors.tobytes())
+        batch = self._cache.get(key)
+        if batch is None:
+            if len(self._cache) >= 32:
+                self._cache.clear()
+            batch = extract_phase1_batch(
+                self.graph,
+                anchors,
+                self.khop_edges,
+                self.negative_pairs,
+                hops=self.model.encoder.num_layers,
+            )
+            self._cache[key] = batch
+        return batch
+
+    def _phase2_batch(self, anchors: np.ndarray, pooled: tuple):
+        key = ("phase2", anchors.tobytes())
+        batch = self._cache.get(key)
+        if batch is None:
+            if len(self._cache) >= 32:
+                self._cache.clear()
+            batch = extract_phase2_batch(
+                self.graph, anchors, pooled, hops=self.model.encoder.num_layers
+            )
+            self._cache[key] = batch
+        return batch
+
+    # ------------------------------------------------------------------
+    def compute(
+        self,
+        phase: str,
+        epoch: int,
+        shard_id: int,
+        anchors: np.ndarray,
+        pooled: Optional[tuple],
+    ) -> Dict:
+        """Loss + gradients for one shard; pure given (phase, epoch, shard)."""
+        model = self.model
+        model.train()
+        model.encoder._rng = shard_dropout_rng(self.seed, phase, epoch, shard_id)
+        model.zero_grad()
+        if phase == "explainable":
+            batch = self._phase1_batch(anchors)
+            result = phase1_batch_loss(model, self.config, self.graph, batch)
+            result.loss.backward()
+            payload = {
+                "loss": result.loss.item(),
+                "grads": self._grads(phase),
+                "khop_positions": batch.khop_positions,
+                "probe_grad": (
+                    result.probe.grad.copy()
+                    if result.probe is not None and result.probe.grad is not None
+                    else None
+                ),
+                "feat_below": int((result.feature_mask.data < 0.5).sum()),
+                "feat_total": int(result.feature_mask.data.size),
+                "struct_below": int((result.structure_mask.data < 0.5).sum()),
+                "struct_total": int(max(result.structure_mask.data.size, 1)),
+            }
+        elif phase == "predictive":
+            batch = self._phase2_batch(anchors, pooled)
+            result = phase2_batch_loss(
+                model,
+                self.config,
+                self.graph,
+                batch,
+                self._features_data,
+                self._edge_weight_data,
+            )
+            if result.loss is None:
+                # Nothing to optimise on this shard (no train anchors, no
+                # pairs): contributes neither gradient nor loss mass.
+                payload = {"loss": None, "grads": None}
+            else:
+                result.loss.backward()
+                payload = {"loss": result.loss.item(), "grads": self._grads(phase)}
+        else:
+            raise ValueError(f"unknown training phase {phase!r}")
+        return payload
+
+    def _grads(self, phase: str) -> List[np.ndarray]:
+        return [
+            param.grad.copy() if param.grad is not None else np.zeros_like(param.data)
+            for param in phase_parameters(self.model, phase)
+        ]
+
+
+def _due_fault(
+    specs: Sequence[FaultSpec],
+    fired: set,
+    phase: str,
+    epoch: int,
+    rank: int,
+) -> Optional[FaultSpec]:
+    """First unfired worker fault due at this (phase, epoch) for this rank."""
+    for index, spec in enumerate(specs):
+        if index in fired or spec.kind not in WORKER_KINDS:
+            continue
+        if spec.rank == rank and spec.matches(phase, epoch):
+            fired.add(index)
+            return spec
+    return None
+
+
+def worker_main(
+    rank: int,
+    init: Dict,
+    task_queue,
+    event_queue,
+    heartbeat_interval: float,
+) -> None:
+    """Entry point of one spawned worker process."""
+    try:
+        context = ShardContext(init)
+        specs: List[FaultSpec] = list(init.get("fault_specs", ()))
+        fired: set = set()
+        event_queue.put(("hello", rank, os.getpid(), time.time()))
+        while True:
+            try:
+                message = task_queue.get(timeout=heartbeat_interval)
+            except queue_module.Empty:
+                event_queue.put(("heartbeat", rank, time.time()))
+                continue
+            kind = message[0]
+            if kind == "stop":
+                return
+            if kind == "epoch":
+                _, phase, epoch, params, version, constants = message
+                context.begin_epoch(phase, epoch, params, version, constants)
+                event_queue.put(("heartbeat", rank, time.time()))
+                continue
+            _, phase, epoch, shard_id, anchors, pooled = message
+            fault = _due_fault(specs, fired, phase, epoch, rank)
+            if fault is not None and fault.kind == "kill_worker":
+                # Hard exit, no cleanup: the closest stand-in for an OOM kill.
+                os._exit(17)
+            if fault is not None and fault.kind == "hang_worker":
+                # Alive but silent: stop heartbeating and never answer, so
+                # only the supervisor's liveness watchdog can detect it.
+                while True:
+                    time.sleep(3600)
+            event_queue.put(("heartbeat", rank, time.time()))
+            payload = context.compute(phase, epoch, shard_id, anchors, pooled)
+            event_queue.put(("result", rank, phase, epoch, shard_id, payload))
+    except KeyboardInterrupt:
+        pass
+    except Exception:  # noqa: BLE001 - ship the traceback to the supervisor
+        try:
+            event_queue.put(("error", rank, traceback.format_exc()))
+        except Exception:  # queue already torn down; nothing left to report
+            pass

@@ -6,7 +6,7 @@ the field) deterministic ways to break training on purpose:
 
 * :class:`FaultPlan` — a parsed schedule of :class:`FaultSpec`\\ s, built
   from the ``REPRO_FAULTS`` environment variable or a spec string.  The
-  grammar is ``kind@phase:epoch[:op]`` with specs comma-separated:
+  grammar is ``kind@phase:epoch[:field]`` with specs comma-separated:
 
   - ``crash@explainable:5`` — raise :class:`SimulatedCrash` at the start of
     explainable-training epoch 5 (the process-kill stand-in; nothing after
@@ -14,7 +14,17 @@ the field) deterministic ways to break training on purpose:
   - ``nan@predictive:3`` — poison the first op output of predictive epoch 3
     with a NaN (exercises the watchdog → recovery-policy path);
   - ``nan@explainable:2:relu`` — poison only ops whose name contains
-    ``relu``.
+    ``relu``;
+  - ``kill_worker@explainable:2:1`` — parallel worker of rank 1 dies
+    (``os._exit``) at the start of its first shard of explainable epoch 2
+    (exercises the supervisor's dead-worker restart path — docs/PARALLEL.md);
+  - ``hang_worker@predictive:0:0`` — worker 0 stops responding (sleeps
+    without heartbeating) instead of dying, so only the liveness watchdog
+    can catch it.
+
+  Malformed specs raise a one-line :class:`ValueError` that names the
+  offending token — a typo in ``REPRO_FAULTS`` should read as a usage
+  error, not a stack trace from an unpack deep inside the trainer.
 
 * :func:`truncate_file` / :func:`corrupt_file` — byte-level checkpoint
   damage for the corruption-detection tests.
@@ -35,8 +45,10 @@ import numpy as np
 
 from ..tensor.tensor import Tensor
 
-FAULT_KINDS = ("crash", "nan")
+FAULT_KINDS = ("crash", "nan", "kill_worker", "hang_worker")
+WORKER_KINDS = ("kill_worker", "hang_worker")
 PHASES = ("explainable", "predictive", "any")
+_GRAMMAR = "kind@phase:epoch[:op] (worker faults: kind@phase:epoch:rank)"
 
 
 class SimulatedCrash(RuntimeError):
@@ -50,40 +62,91 @@ class SimulatedCrash(RuntimeError):
 
 @dataclass(frozen=True)
 class FaultSpec:
-    """One scheduled fault: what to break, where, and (for NaNs) which op."""
+    """One scheduled fault: what to break, where, and which op/worker."""
 
     kind: str
     phase: str
     epoch: int
     op: Optional[str] = None
+    rank: Optional[int] = None
 
     def matches(self, phase: str, epoch: int) -> bool:
         return (self.phase in ("any", phase)) and self.epoch == epoch
 
     @classmethod
     def parse(cls, text: str) -> "FaultSpec":
-        """Parse ``kind@phase:epoch[:op]`` (see module docstring)."""
+        """Parse one ``kind@phase:epoch[:field]`` spec (see module docstring).
+
+        Every rejection is a single-sentence :class:`ValueError` naming the
+        offending token and the full spec it came from.
+        """
         text = text.strip()
+        if not text:
+            raise ValueError(f"empty fault spec; expected {_GRAMMAR}")
         if "@" not in text:
-            raise ValueError(f"bad fault spec {text!r}: expected kind@phase:epoch[:op]")
+            raise ValueError(
+                f"bad fault spec {text!r}: missing '@'; expected {_GRAMMAR}"
+            )
         kind, _, where = text.partition("@")
         kind = kind.strip().lower()
         if kind not in FAULT_KINDS:
-            raise ValueError(f"bad fault kind {kind!r}; expected one of {FAULT_KINDS}")
+            raise ValueError(
+                f"bad fault kind {kind!r} in spec {text!r}; "
+                f"expected one of {FAULT_KINDS}"
+            )
         parts = [p.strip() for p in where.split(":")]
         if len(parts) < 2 or len(parts) > 3:
-            raise ValueError(f"bad fault spec {text!r}: expected kind@phase:epoch[:op]")
+            raise ValueError(
+                f"bad fault spec {text!r}: {len(parts)} field(s) after '@'; "
+                f"expected {_GRAMMAR}"
+            )
         phase = parts[0].lower()
         if phase not in PHASES:
-            raise ValueError(f"bad fault phase {phase!r}; expected one of {PHASES}")
+            raise ValueError(
+                f"bad fault phase {phase!r} in spec {text!r}; "
+                f"expected one of {PHASES}"
+            )
         try:
             epoch = int(parts[1])
         except ValueError:
-            raise ValueError(f"bad fault epoch {parts[1]!r} in spec {text!r}") from None
-        op = parts[2] if len(parts) == 3 else None
-        if kind == "crash" and op is not None:
-            raise ValueError(f"crash faults take no op field (spec {text!r})")
-        return cls(kind=kind, phase=phase, epoch=epoch, op=op)
+            raise ValueError(
+                f"bad fault epoch {parts[1]!r} in spec {text!r}: not an integer"
+            ) from None
+        if epoch < 0:
+            raise ValueError(
+                f"bad fault epoch {epoch} in spec {text!r}: must be >= 0"
+            )
+        op: Optional[str] = None
+        rank: Optional[int] = None
+        if kind in WORKER_KINDS:
+            if len(parts) != 3:
+                raise ValueError(
+                    f"bad fault spec {text!r}: {kind} faults need a worker "
+                    f"rank (kind@phase:epoch:rank)"
+                )
+            try:
+                rank = int(parts[2])
+            except ValueError:
+                raise ValueError(
+                    f"bad worker rank {parts[2]!r} in spec {text!r}: "
+                    "not an integer"
+                ) from None
+            if rank < 0:
+                raise ValueError(
+                    f"bad worker rank {rank} in spec {text!r}: must be >= 0"
+                )
+        elif kind == "crash":
+            if len(parts) == 3:
+                raise ValueError(
+                    f"crash faults take no op field (spec {text!r})"
+                )
+        else:  # nan
+            op = parts[2] if len(parts) == 3 else None
+            if op == "":
+                raise ValueError(
+                    f"bad fault spec {text!r}: empty op field"
+                )
+        return cls(kind=kind, phase=phase, epoch=epoch, op=op, rank=rank)
 
 
 class FaultPlan:
@@ -114,6 +177,16 @@ class FaultPlan:
     def from_env(cls, env: Optional[dict] = None) -> "FaultPlan":
         """Build a plan from ``REPRO_FAULTS`` (empty plan when unset)."""
         return cls.parse((env if env is not None else os.environ).get("REPRO_FAULTS"))
+
+    def worker_specs(self) -> List[FaultSpec]:
+        """The worker-targeted (kill/hang) specs, in declaration order.
+
+        The parallel supervisor ships these to spawned workers and consumes
+        them on its side when the corresponding failure is observed, so a
+        restarted worker is not immediately re-injured by the same spec
+        (see ``repro.parallel.supervisor``).
+        """
+        return [spec for spec in self.specs if spec.kind in WORKER_KINDS]
 
     # ------------------------------------------------------------------
     def _take(self, kind: str, phase: str, epoch: int) -> Optional[FaultSpec]:

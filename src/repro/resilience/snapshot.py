@@ -149,6 +149,11 @@ def capture_training_snapshot(trainer) -> TrainingSnapshot:
     # keep loading; ``None`` records an explicit full-batch run.
     sampler = getattr(trainer, "_sampler", None)
     manifest["minibatch"] = sampler.state_dict() if sampler is not None else None
+    # Parallel mode: worker/shard topology plus the shard sampler's stream.
+    # Same optionality contract as "minibatch" — absent/None means the run
+    # was not data-parallel (pre-parallel archives keep loading).
+    runner = getattr(trainer, "_parallel", None)
+    manifest["parallel"] = runner.state_manifest() if runner is not None else None
 
     for name, value in trainer.model.state_dict().items():
         arrays[f"model/{name}"] = value  # state_dict already copies
@@ -292,6 +297,34 @@ def restore_training_snapshot(
             "snapshot is from a full-batch run; trainer is configured with "
             f"batch_size={sampler.batch_size} — resuming it as a minibatch "
             "run would not reproduce either trajectory"
+        )
+    parallel_state = manifest.get("parallel")
+    runner = getattr(trainer, "_parallel", None)
+    if parallel_state is not None:
+        workers = int(parallel_state["workers"])
+        shards = int(parallel_state["shards"])
+        if runner is None:
+            trainer.configure_parallel(workers, shards=shards)
+            runner = trainer._parallel
+        elif runner.config.workers != workers:
+            raise CheckpointError(
+                f"snapshot is from a parallel run with workers={workers}; "
+                f"trainer is configured with workers={runner.config.workers}"
+            )
+        elif runner.config.shards != shards:
+            raise CheckpointError(
+                f"snapshot is from a parallel run with shards={shards}; "
+                f"trainer is configured with shards={runner.config.shards}"
+            )
+        runner.sampler.load_state_dict(parallel_state["sampler"])
+        # Restored negative pairs / pair sets differ from what the workers
+        # hold; force a constants re-ship on the next epoch.
+        runner.invalidate_constants()
+    elif runner is not None:
+        raise CheckpointError(
+            "snapshot is from a non-parallel run; trainer is configured with "
+            f"workers={runner.config.workers} — resuming it as a parallel "
+            "run is only safe from a parallel snapshot"
         )
     # Restored negative/pair sets may not match previously cached subgraphs.
     cache = getattr(trainer, "_batch_cache", None)

@@ -13,6 +13,9 @@ runtime directly:
   reproduces the uninterrupted one bit-for-bit;
 * ``--recover`` enables the NaN-recovery policy (rollback + LR backoff +
   bounded retries; ``--recover raise`` aborts instead of degrading);
+* ``--workers N`` shards each epoch across N supervised worker processes
+  with heartbeats, automatic restarts and deterministic degradation; the
+  trajectory is bit-identical at any worker count (docs/PARALLEL.md);
 * ``--faults SPEC`` injects faults for harness testing, e.g.
   ``crash@explainable:30`` or ``nan@predictive:2:matmul`` (grammar in
   docs/ROBUSTNESS.md; also honoured from ``REPRO_FAULTS``).
@@ -50,6 +53,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="train with neighbor-sampled anchor minibatches "
                              "of B nodes (default: full-batch; B >= num_nodes "
                              "reproduces full-batch bit-for-bit)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="data-parallel training across N worker "
+                             "processes (bit-identical to --workers 1 at any "
+                             "N; mutually exclusive with --batch-size — see "
+                             "docs/PARALLEL.md)")
+    parser.add_argument("--shards", type=int, default=None, metavar="S",
+                        help="anchor shards per epoch (default 4); fixes the "
+                             "reduction structure independently of --workers")
+    parser.add_argument("--heartbeat-timeout", type=float, default=None,
+                        metavar="SEC",
+                        help="seconds of worker silence before the liveness "
+                             "watchdog declares it hung (default 10)")
+    parser.add_argument("--max-worker-restarts", type=int, default=None,
+                        metavar="K",
+                        help="restart budget per worker rank before the pool "
+                             "degrades to fewer workers (default 2)")
     parser.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
                         help="write a full-state snapshot every N epochs")
     parser.add_argument("--checkpoint-dir", default=None,
@@ -136,6 +155,16 @@ def main(argv=None) -> int:
     trainer = SESTrainer(
         graph, config, recorder=recorder, recovery=recovery, faults=faults
     )
+    if args.workers is not None:
+        if args.batch_size is not None:
+            parser_error = build_parser()
+            parser_error.error("--workers and --batch-size are mutually exclusive")
+        trainer.configure_parallel(
+            args.workers,
+            shards=args.shards,
+            heartbeat_timeout=args.heartbeat_timeout,
+            max_restarts=args.max_worker_restarts,
+        )
     try:
         result = trainer.fit(
             resume_from=resume_from,
@@ -155,6 +184,10 @@ def main(argv=None) -> int:
     if trainer.batch_size is not None:
         print(f"minibatch: batch_size={trainer.batch_size} "
               f"({trainer._sampler.num_batches} batches/epoch)")
+    if trainer.workers is not None:
+        runner = trainer._parallel
+        print(f"parallel: workers={runner.config.workers} "
+              f"shards={runner.num_shards} restarts={runner.total_restarts}")
     print(f"epochs: explainable={completed['explainable']} "
           f"predictive={completed['predictive']}")
     if trainer.recovery is not None and trainer.recovery.total_rollbacks:

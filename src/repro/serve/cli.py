@@ -17,7 +17,9 @@ See docs/SERVING.md for the endpoint contracts and hot-reload semantics.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import threading
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -49,6 +51,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="seconds between LATEST-pointer polls")
     parser.add_argument("--precompute", action="store_true",
                         help="warm the explanation cache after each (re)load")
+    parser.add_argument("--drain-timeout", type=float, default=5.0,
+                        metavar="SEC",
+                        help="seconds to wait for in-flight requests on "
+                             "SIGTERM/SIGINT before abandoning them")
     parser.add_argument("--verbose", action="store_true",
                         help="log each request to stderr")
     return parser
@@ -91,14 +97,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"[serve] listening on {server.url} "
           f"(snapshots: {snapshot_dir}; loading in background)",
           file=sys.stderr)
+
+    # SIGTERM/SIGINT start a graceful drain: stop accepting work, finish
+    # in-flight requests, stop the watcher, flush a final metrics line.
+    # server.shutdown() blocks until serve_forever exits, and the handler
+    # runs *inside* the serve_forever thread — hence the helper thread.
+    def request_shutdown(signum, frame):  # noqa: ARG001 - signal contract
+        name = signal.Signals(signum).name
+        print(f"[serve] {name} received; draining", file=sys.stderr)
+        threading.Thread(
+            target=server.shutdown, name="repro-serve-shutdown", daemon=True
+        ).start()
+
+    previous = {
+        sig: signal.signal(sig, request_shutdown)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
     watcher.start()
     try:
         server.serve_forever()
+        if not server.drain(timeout=args.drain_timeout):
+            print(f"[serve] drain timed out after {args.drain_timeout:.1f}s; "
+                  f"{server.inflight} request(s) abandoned", file=sys.stderr)
     except KeyboardInterrupt:
         print("[serve] shutting down", file=sys.stderr)
     finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
         watcher.stop()
         server.server_close()
+        # Final metrics flush: the last word a scraper would have missed.
+        family = server.registry.snapshot().get("repro_serve_requests_total") or {}
+        served = sum(series["value"] for series in family.get("series", ()))
+        print(f"[serve] stopped; served {int(served)} request(s)",
+              file=sys.stderr)
     return 0
 
 

@@ -30,6 +30,7 @@ import json
 import re
 import sys
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import urlsplit
@@ -73,6 +74,9 @@ class SESRequestHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         if status == 503:
             self.send_header("Retry-After", "1")
+        if self.close_connection:
+            # Tell keep-alive clients this connection is done (drain path).
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
@@ -95,18 +99,30 @@ class SESRequestHandler(BaseHTTPRequestHandler):
         server: "SESServer" = self.server  # type: ignore[assignment]
         path = urlsplit(self.path).path
         endpoint, handle = self._route(path)
-        with server.request_seconds.time(endpoint=endpoint):
-            try:
-                status = handle(path)
-            except BrokenPipeError:
-                # Client went away mid-response; nothing left to send.
-                status = 499
-            except Exception as error:  # noqa: BLE001 - keep the worker alive
+        if server.draining:
+            # shutdown() already stopped new *connections*; this turns away
+            # new requests arriving on existing keep-alive connections so the
+            # drain can actually finish.
+            self.close_connection = True
+            status = self._error(503, "server is shutting down")
+            server.requests_total.inc(endpoint=endpoint, status=str(status))
+            return
+        server._begin_request()
+        try:
+            with server.request_seconds.time(endpoint=endpoint):
                 try:
-                    status = self._error(500, f"{type(error).__name__}: {error}")
-                except Exception:  # headers already sent; drop the connection
-                    self.close_connection = True
-                    status = 500
+                    status = handle(path)
+                except BrokenPipeError:
+                    # Client went away mid-response; nothing left to send.
+                    status = 499
+                except Exception as error:  # noqa: BLE001 - keep the worker alive
+                    try:
+                        status = self._error(500, f"{type(error).__name__}: {error}")
+                    except Exception:  # headers already sent; drop the connection
+                        self.close_connection = True
+                        status = 500
+        finally:
+            server._end_request()
         server.requests_total.inc(endpoint=endpoint, status=str(status))
 
     def _route(self, path: str) -> Tuple[str, Any]:
@@ -202,6 +218,45 @@ class SESServer(ThreadingHTTPServer):
             "HTTP request handling latency.",
             buckets=REQUEST_BUCKETS,
         )
+        self.draining = False
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
+
+    # ------------------------------------------------------------------
+    # Graceful drain (docs/SERVING.md)
+    # ------------------------------------------------------------------
+    def _begin_request(self) -> None:
+        with self._inflight_cond:
+            self._inflight += 1
+
+    def _end_request(self) -> None:
+        with self._inflight_cond:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._inflight_cond.notify_all()
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently being handled (drain waits for zero)."""
+        with self._inflight_cond:
+            return self._inflight
+
+    def drain(self, timeout: float = 5.0) -> bool:
+        """Turn away new requests and wait for in-flight ones to finish.
+
+        Returns ``True`` when the server went idle within ``timeout``
+        seconds, ``False`` if stragglers were abandoned (they run on daemon
+        threads, so process exit still cannot hang on them).
+        """
+        self.draining = True
+        deadline = time.monotonic() + timeout
+        with self._inflight_cond:
+            while self._inflight:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._inflight_cond.wait(remaining)
+        return True
 
     @property
     def port(self) -> int:

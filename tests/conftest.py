@@ -1,8 +1,10 @@
 """Shared fixtures: small deterministic graphs and a numeric grad-checker.
 
-Also enforces the ``network`` marker's per-test timeout: socket-bound tests
-(the serving layer) run under a ``SIGALRM`` watchdog so a hung accept/read
-fails the one test with a ``TimeoutError`` instead of wedging tier-1.
+Also enforces the ``network`` and ``parallel`` markers' per-test timeouts:
+socket-bound tests (the serving layer) and multiprocess tests (the parallel
+supervisor) run under a ``SIGALRM`` watchdog so a hung accept/read or a
+wedged worker queue fails the one test with a ``TimeoutError`` instead of
+wedging tier-1.
 """
 
 from __future__ import annotations
@@ -18,18 +20,24 @@ from repro.datasets import ba_shapes, cora_like
 from repro.graph import Graph, classification_split, explanation_split
 
 NETWORK_TEST_TIMEOUT = 120  # seconds; override per test with network(timeout=N)
+PARALLEL_TEST_TIMEOUT = 300  # spawn + train is slower; parallel(timeout=N)
 
 
 @pytest.hookimpl(wrapper=True)
 def pytest_runtest_call(item):
     marker = item.get_closest_marker("network")
+    default_timeout = NETWORK_TEST_TIMEOUT
+    if marker is None:
+        marker = item.get_closest_marker("parallel")
+        default_timeout = PARALLEL_TEST_TIMEOUT
     if marker is None or not hasattr(signal, "SIGALRM"):
         return (yield)
-    timeout = int(marker.kwargs.get("timeout", NETWORK_TEST_TIMEOUT))
+    timeout = int(marker.kwargs.get("timeout", default_timeout))
 
     def on_alarm(signum, frame):
         raise TimeoutError(
-            f"network test exceeded its {timeout}s timeout (hung socket?)"
+            f"{marker.name} test exceeded its {timeout}s timeout "
+            "(hung socket or worker?)"
         )
 
     # Belt and braces: a default socket timeout turns a silent hang inside

@@ -1,0 +1,77 @@
+"""Fixed-order tree reduction units (docs/PARALLEL.md)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import tree_reduce, tree_sum, tree_sum_arrays
+
+
+class TestTreeReduce:
+    def test_single_item_passthrough(self):
+        assert tree_reduce([42], lambda a, b: a + b) == 42
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            tree_reduce([], lambda a, b: a + b)
+
+    @pytest.mark.parametrize(
+        "count,expected",
+        [
+            (2, "(ab)"),
+            (3, "((ab)c)"),
+            (4, "((ab)(cd))"),
+            (5, "(((ab)(cd))e)"),
+            (7, "(((ab)(cd))((ef)g))"),
+        ],
+    )
+    def test_tree_shape_is_a_pure_function_of_length(self, count, expected):
+        items = [chr(ord("a") + i) for i in range(count)]
+        combined = tree_reduce(items, lambda a, b: f"({a}{b})")
+        assert combined == expected
+
+    def test_matches_plain_sum_for_integers(self):
+        # Integer addition is associative, so shapes can't matter here —
+        # this pins the arithmetic itself.
+        values = list(range(1, 100))
+        assert tree_reduce(values, lambda a, b: a + b) == sum(values)
+
+
+class TestTreeSum:
+    def test_close_to_plain_sum(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=257).tolist()
+        assert tree_sum(values) == pytest.approx(sum(values), rel=1e-12)
+
+    def test_deterministic_across_calls(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(scale=1e6, size=1001).tolist()
+        assert tree_sum(values) == tree_sum(list(values))
+
+    def test_shape_independent_of_worker_style_chunking(self):
+        # The determinism claim: summing shard values is the same whether 2
+        # or 4 "workers" produced them, because the reduction only sees the
+        # flat shard-ordered list.
+        values = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6]
+        assert tree_sum(values) == tree_sum(values[:3] + values[3:])
+
+
+class TestTreeSumArrays:
+    def test_elementwise_sum(self):
+        rng = np.random.default_rng(2)
+        shards = [
+            [rng.normal(size=(3, 4)), rng.normal(size=5)] for _ in range(7)
+        ]
+        summed = tree_sum_arrays(shards)
+        assert len(summed) == 2
+        np.testing.assert_allclose(
+            summed[0], np.sum([s[0] for s in shards], axis=0), rtol=1e-12
+        )
+        np.testing.assert_allclose(
+            summed[1], np.sum([s[1] for s in shards], axis=0), rtol=1e-12
+        )
+
+    def test_single_shard_identity(self):
+        grads = [[np.ones(3), np.zeros((2, 2))]]
+        summed = tree_sum_arrays(grads)
+        np.testing.assert_array_equal(summed[0], np.ones(3))
+        np.testing.assert_array_equal(summed[1], np.zeros((2, 2)))

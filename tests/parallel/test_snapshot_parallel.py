@@ -1,0 +1,105 @@
+"""Snapshot/resume semantics for data-parallel runs (docs/PARALLEL.md).
+
+A parallel run's snapshot records the worker/shard topology and the shard
+sampler's stream; resuming reproduces the uninterrupted run bit-for-bit,
+and topology mismatches are rejected with :class:`CheckpointError` instead
+of silently producing a third trajectory.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SESTrainer, fast_config
+from repro.datasets import load_dataset
+from repro.graph import classification_split
+from repro.resilience import CheckpointError, FaultPlan, SimulatedCrash
+
+pytestmark = pytest.mark.parallel
+
+EXPLAINABLE_EPOCHS = 4
+PREDICTIVE_EPOCHS = 2
+
+
+def _graph():
+    return classification_split(load_dataset("cora", scale=0.15, seed=0), seed=0)
+
+
+def _config():
+    return fast_config(
+        "gcn",
+        explainable_epochs=EXPLAINABLE_EPOCHS,
+        predictive_epochs=PREDICTIVE_EPOCHS,
+        seed=0,
+    )
+
+
+def _assert_bit_identical(result, reference):
+    assert result.history.phase1_loss == reference.history.phase1_loss
+    assert result.history.phase2_loss == reference.history.phase2_loss
+    np.testing.assert_array_equal(result.logits, reference.logits)
+    assert result.test_accuracy == reference.test_accuracy
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """Uninterrupted workers=2 run."""
+    return SESTrainer(_graph(), _config()).fit(workers=2)
+
+
+def _crash(tmp_path, spec):
+    crashed = SESTrainer(_graph(), _config(), faults=FaultPlan.parse(spec))
+    with pytest.raises(SimulatedCrash):
+        crashed.fit(
+            workers=2,
+            checkpoint_every=1,
+            checkpoint_dir=tmp_path,
+            checkpoint_keep=0,
+        )
+
+
+class TestCrashResume:
+    def test_resume_autoconfigures_parallel_mode(self, reference, tmp_path):
+        # The resumed trainer is constructed *without* workers: the
+        # snapshot's parallel manifest must switch it into parallel mode.
+        _crash(tmp_path, "crash@explainable:2")
+        resumed = SESTrainer(_graph(), _config()).fit(resume_from=tmp_path)
+        _assert_bit_identical(resumed, reference)
+
+    def test_resume_mid_phase2(self, reference, tmp_path):
+        _crash(tmp_path, "crash@predictive:1")
+        resumed = SESTrainer(_graph(), _config()).fit(
+            resume_from=tmp_path, workers=2
+        )
+        _assert_bit_identical(resumed, reference)
+
+
+class TestTopologyMismatch:
+    def test_workers_mismatch_rejected(self, tmp_path):
+        _crash(tmp_path, "crash@explainable:2")
+        with pytest.raises(CheckpointError, match="workers"):
+            SESTrainer(_graph(), _config()).fit(resume_from=tmp_path, workers=3)
+
+    def test_shards_mismatch_rejected(self, tmp_path):
+        _crash(tmp_path, "crash@explainable:2")
+        trainer = SESTrainer(_graph(), _config())
+        trainer.configure_parallel(2, shards=8)
+        with pytest.raises(CheckpointError, match="shards"):
+            trainer.fit(resume_from=tmp_path)
+
+    def test_non_parallel_snapshot_rejects_parallel_trainer(self, tmp_path):
+        crashed = SESTrainer(
+            _graph(), _config(), faults=FaultPlan.parse("crash@explainable:2")
+        )
+        with pytest.raises(SimulatedCrash):
+            crashed.fit(
+                checkpoint_every=1, checkpoint_dir=tmp_path, checkpoint_keep=0
+            )
+        with pytest.raises(CheckpointError, match="non-parallel"):
+            SESTrainer(_graph(), _config()).fit(resume_from=tmp_path, workers=2)
+
+    def test_parallel_snapshot_rejects_minibatch_trainer(self, tmp_path):
+        _crash(tmp_path, "crash@explainable:2")
+        with pytest.raises(CheckpointError):
+            SESTrainer(_graph(), _config()).fit(
+                resume_from=tmp_path, batch_size=64
+            )

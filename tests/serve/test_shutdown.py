@@ -1,0 +1,130 @@
+"""Graceful shutdown and drain semantics (docs/SERVING.md).
+
+Unit level: the server's in-flight accounting and ``drain()``.  Process
+level: ``python -m repro serve`` receiving SIGTERM stops accepting work,
+finishes in-flight requests, stops the watcher and flushes a final metrics
+line — exit code 0, no stack trace.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from .conftest import Client, wait_until
+
+pytestmark = pytest.mark.network
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+class TestDrain:
+    def test_drain_idle_server_is_immediate(self, live_server):
+        server, _ = live_server
+        start = time.monotonic()
+        assert server.drain(timeout=5.0) is True
+        assert time.monotonic() - start < 1.0
+
+    def test_drain_waits_for_inflight_requests(self, live_server):
+        server, _ = live_server
+        server._begin_request()  # simulate a request still being handled
+        assert server.drain(timeout=0.3) is False
+        assert server.inflight == 1
+
+        finished = threading.Event()
+
+        def release():
+            time.sleep(0.2)
+            server._end_request()
+            finished.set()
+
+        threading.Thread(target=release, daemon=True).start()
+        assert server.drain(timeout=5.0) is True
+        assert finished.is_set()
+        assert server.inflight == 0
+
+    def test_draining_server_rejects_new_requests(self, live_server):
+        server, _ = live_server
+        client = Client(server.port)
+        try:
+            status, _, _ = client.get("/healthz")
+            assert status == 200
+            server.draining = True
+            client2 = Client(server.port)
+            try:
+                status, headers, payload = client2.get("/healthz")
+                assert status == 503
+                assert payload["error"]["code"] == 503
+                assert headers.get("Connection", "").lower() == "close"
+            finally:
+                client2.close()
+        finally:
+            server.draining = False
+            client.close()
+
+    def test_requests_counted_and_released(self, live_server):
+        server, _ = live_server
+        client = Client(server.port)
+        try:
+            for _ in range(3):
+                status, _, _ = client.get("/healthz")
+                assert status == 200
+        finally:
+            client.close()
+        wait_until(lambda: server.inflight == 0)
+
+
+class TestSignalShutdown:
+    @pytest.mark.network(timeout=120)
+    def test_sigterm_drains_and_exits_cleanly(self, snapshot_dir):
+        env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--snapshot-dir", str(snapshot_dir),
+                "--port", "0", "--drain-timeout", "5",
+            ],
+            env=env,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            # The listening line is printed before serve_forever starts;
+            # read stderr incrementally until it appears.
+            deadline = time.monotonic() + 60
+            lines = []
+            port = None
+            while time.monotonic() < deadline:
+                line = process.stderr.readline()
+                if not line:
+                    break
+                lines.append(line)
+                match = re.search(r"listening on http://127\.0\.0\.1:(\d+)", line)
+                if match:
+                    port = int(match.group(1))
+                    break
+            assert port is not None, f"no listening line in {lines!r}"
+
+            client = Client(port, timeout=30)
+            try:
+                wait_until(lambda: client.get("/healthz")[0] == 200, deadline=60)
+            finally:
+                client.close()
+
+            process.send_signal(signal.SIGTERM)
+            remaining = process.communicate(timeout=30)[1]
+            output = "".join(lines) + remaining
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0, output
+        assert "SIGTERM received; draining" in output
+        assert re.search(r"stopped; served \d+ request\(s\)", output)
+        assert "Traceback" not in output
